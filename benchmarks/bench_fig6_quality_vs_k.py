@@ -1,0 +1,74 @@
+"""Figure 6 — solution quality (diversity) as a function of k.
+
+The paper plots diversity against k in [5, 50] (starting higher when m is
+large so every group gets at least one slot) for GMM, FairSwap, FairFlow,
+FairGMM (small k/m only), SFDM1 and SFDM2 on eight dataset panels.
+
+Expected shape: diversity decreases monotonically (in expectation) with k
+for every algorithm; the fair algorithms sit slightly below GMM at m = 2 and
+further below for large m; FairFlow trails SFDM2 as m grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.harness import ExperimentConfig, default_algorithms, run_experiment
+from repro.evaluation.reporting import records_to_rows, write_csv
+
+from .conftest import BENCH_REPS, BENCH_SEED, bench_dataset, print_table
+
+#: (dataset, k sweep) panels — a representative subset of the paper's eight
+#: panels covering m = 2, m = 4/5, m = 7, and m = 15.
+PANELS = [
+    ("adult-sex", (5, 10, 20, 30)),
+    ("celeba-sex", (5, 10, 20, 30)),
+    ("adult-race", (10, 20, 30)),
+    ("census-age", (10, 20, 30)),
+    ("lyrics-genre", (15, 25, 35)),
+]
+
+COLUMNS = ["dataset", "algorithm", "k", "diversity"]
+
+
+def _run_panel(name: str, ks):
+    dataset = bench_dataset(name)
+    configs = [
+        ExperimentConfig(
+            dataset=dataset,
+            k=k,
+            epsilon=0.05 if name == "lyrics-genre" else 0.1,
+            repetitions=BENCH_REPS,
+            base_seed=BENCH_SEED,
+        )
+        for k in ks
+    ]
+    include_fair_gmm = max(ks) <= 10 and dataset.num_groups <= 5
+    return run_experiment(configs, algorithms=default_algorithms(include_fair_gmm))
+
+
+@pytest.mark.parametrize("name,ks", PANELS, ids=[p[0] for p in PANELS])
+def test_fig6_quality_panel(benchmark, results_dir, name, ks):
+    """Regenerate one panel of Figure 6 (diversity vs k)."""
+    records = benchmark.pedantic(_run_panel, args=(name, ks), rounds=1, iterations=1)
+    rows = records_to_rows(records, columns=COLUMNS)
+    print_table(rows, COLUMNS, title=f"Figure 6 — {name} (diversity vs k)")
+    write_csv(rows, results_dir / f"fig6_{name}.csv", columns=COLUMNS)
+
+    # Shape checks: every fair algorithm stays below the 2*div(GMM) upper
+    # bound on OPT at every k (GMM itself is only a 1/2-approximation, so a
+    # fair solution may occasionally beat GMM's achieved value), and each
+    # algorithm's diversity at the largest k is below its value at the
+    # smallest k.
+    for k in ks:
+        at_k = {r.algorithm: r.diversity for r in records if r.k == k}
+        for algorithm, value in at_k.items():
+            if algorithm != "GMM":
+                assert value <= 2.0 * at_k["GMM"] + 1e-9
+    # FairFlow's quality is erratic (a point the paper makes), so the
+    # monotone-decrease check is applied to the stable algorithms only,
+    # with a 10% tolerance for stream randomness.
+    for algorithm in {r.algorithm for r in records} - {"FairFlow"}:
+        series = sorted((r.k, r.diversity) for r in records if r.algorithm == algorithm)
+        if len(series) >= 2:
+            assert series[-1][1] <= 1.1 * series[0][1] + 1e-9

@@ -1,0 +1,56 @@
+"""Figure 7 — running time as a function of k.
+
+The paper plots wall-clock running time against k for the same panels as
+Figure 6 (log-scale y axis).
+
+Expected shape: the offline baselines' time is dominated by their pass over
+the full dataset and grows with k; the streaming algorithms are orders of
+magnitude faster per run on large datasets because their cost depends on
+k·log(Delta)/epsilon, not on n (their total time here includes the one pass
+over the stream, so the gap grows with the dataset size).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.harness import ExperimentConfig, default_algorithms, run_experiment
+from repro.evaluation.reporting import records_to_rows, write_csv
+
+from .conftest import BENCH_REPS, BENCH_SEED, bench_dataset, print_table
+
+PANELS = [
+    ("adult-sex", (10, 20, 30)),
+    ("census-sex", (10, 20, 30)),
+    ("census-age", (10, 20, 30)),
+]
+
+COLUMNS = ["dataset", "algorithm", "k", "total_seconds", "stream_seconds", "postprocess_seconds"]
+
+
+def _run_panel(name: str, ks):
+    dataset = bench_dataset(name)
+    configs = [
+        ExperimentConfig(
+            dataset=dataset, k=k, epsilon=0.1, repetitions=BENCH_REPS, base_seed=BENCH_SEED
+        )
+        for k in ks
+    ]
+    return run_experiment(configs, algorithms=default_algorithms())
+
+
+@pytest.mark.parametrize("name,ks", PANELS, ids=[p[0] for p in PANELS])
+def test_fig7_time_panel(benchmark, results_dir, name, ks):
+    """Regenerate one panel of Figure 7 (running time vs k)."""
+    records = benchmark.pedantic(_run_panel, args=(name, ks), rounds=1, iterations=1)
+    rows = records_to_rows(records, columns=COLUMNS)
+    print_table(rows, COLUMNS, title=f"Figure 7 — {name} (time vs k)")
+    write_csv(rows, results_dir / f"fig7_{name}.csv", columns=COLUMNS)
+
+    # Shape check: every measurement is positive and each algorithm's time
+    # grows (weakly) from the smallest to the largest k.
+    assert all(record.total_seconds > 0 for record in records)
+    for algorithm in {r.algorithm for r in records}:
+        series = sorted((r.k, r.total_seconds) for r in records if r.algorithm == algorithm)
+        if len(series) >= 2:
+            assert series[-1][1] >= series[0][1] * 0.3

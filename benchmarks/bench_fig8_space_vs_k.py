@@ -1,0 +1,71 @@
+"""Figure 8 — number of stored elements as a function of k (SFDM1 / SFDM2).
+
+The paper plots, on Adult and Census, the number of distinct elements each
+streaming algorithm keeps in memory as k ranges over [10, 50], for SFDM1
+(m = 2) and SFDM2 under two different group settings.
+
+Expected shape: the stored-element count grows roughly linearly in k for
+both algorithms, and SFDM2's count also grows with the number of groups m
+(its group-specific candidates have capacity k each instead of k_i).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.harness import ExperimentConfig, run_experiment, streaming_algorithms
+from repro.evaluation.reporting import records_to_rows, write_csv
+
+from .conftest import BENCH_REPS, BENCH_SEED, bench_dataset, print_table
+
+#: (panel id, dataset settings) — Adult with sex/race and Census with sex/age,
+#: mirroring the two panels of Figure 8.
+PANELS = [
+    ("adult", ["adult-sex", "adult-race"]),
+    ("census", ["census-sex", "census-age"]),
+]
+
+KS = (10, 20, 30, 40)
+
+COLUMNS = ["dataset", "algorithm", "m", "k", "stored_elements"]
+
+
+def _run_panel(dataset_names):
+    records = []
+    for name in dataset_names:
+        dataset = bench_dataset(name)
+        configs = [
+            ExperimentConfig(
+                dataset=dataset, k=k, epsilon=0.1, repetitions=BENCH_REPS, base_seed=BENCH_SEED
+            )
+            for k in KS
+        ]
+        records.extend(run_experiment(configs, algorithms=streaming_algorithms()))
+    return records
+
+
+@pytest.mark.parametrize("panel,names", PANELS, ids=[p[0] for p in PANELS])
+def test_fig8_space_panel(benchmark, results_dir, panel, names):
+    """Regenerate one panel of Figure 8 (stored elements vs k)."""
+    records = benchmark.pedantic(_run_panel, args=(names,), rounds=1, iterations=1)
+    rows = records_to_rows(records, columns=COLUMNS)
+    print_table(rows, COLUMNS, title=f"Figure 8 — {panel} (stored elements vs k)")
+    write_csv(rows, results_dir / f"fig8_{panel}.csv", columns=COLUMNS)
+
+    # Shape checks: storage grows with k for every algorithm/dataset series,
+    # and SFDM2 on the many-group setting stores more than on the two-group one.
+    for name in names:
+        for algorithm in {r.algorithm for r in records if r.dataset.endswith(name.split("-")[1])}:
+            series = sorted(
+                (r.k, r.stored_elements)
+                for r in records
+                if r.algorithm == algorithm and r.dataset == bench_dataset(name).name
+            )
+            if len(series) >= 2:
+                assert series[-1][1] > series[0][1]
+    sfdm2_by_m = {
+        r.m: r.stored_elements for r in records if r.algorithm == "SFDM2" and r.k == max(KS)
+    }
+    if len(sfdm2_by_m) >= 2:
+        ms = sorted(sfdm2_by_m)
+        assert sfdm2_by_m[ms[-1]] > sfdm2_by_m[ms[0]]

@@ -1,0 +1,77 @@
+"""Scenario: building a demographically balanced, maximally diverse shortlist.
+
+This mirrors the paper's motivating recruitment/banking scenario: a stream
+of candidate profiles (here the Adult census surrogate: six numeric
+attributes such as income-related features) arrives one profile at a time,
+and a reviewer wants a shortlist of k profiles that
+
+* covers the attribute space as uniformly as possible (max-min diversity —
+  no two shortlisted profiles are near-duplicates), and
+* contains an equal number of profiles from each sex group, or a number
+  proportional to the group's share of the population.
+
+Run with::
+
+    python examples/fair_hiring_shortlist.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro import (  # noqa: E402
+    SFDM1,
+    adult_surrogate,
+    equal_representation,
+    proportional_representation,
+)
+from repro.evaluation.measures import optimum_upper_bound  # noqa: E402
+from repro.evaluation.reporting import format_table  # noqa: E402
+
+
+def main() -> None:
+    shortlist_size = 12
+    dataset = adult_surrogate(n=20_000, group_by="sex", seed=3)
+    sizes = dataset.group_sizes()
+    names = dataset.group_names
+    print(
+        "candidate pool:",
+        ", ".join(f"{names.get(g, g)}: {count}" for g, count in sorted(sizes.items())),
+    )
+
+    constraints = {
+        "equal representation": equal_representation(shortlist_size, sizes.keys()),
+        "proportional representation": proportional_representation(shortlist_size, sizes),
+    }
+
+    rows = []
+    for label, constraint in constraints.items():
+        result = SFDM1(dataset.metric, constraint, epsilon=0.1).run(dataset.stream(seed=11))
+        shortlist = result.solution
+        rows.append(
+            {
+                "quota rule": label,
+                "quotas": str(constraint.quotas),
+                "diversity": shortlist.diversity,
+                "fair": shortlist.is_fair,
+                "profiles stored": result.stats.peak_stored_elements,
+                "update time (us)": result.stats.average_update_seconds * 1e6,
+            }
+        )
+
+    print()
+    print(format_table(rows, title=f"Fair shortlist of {shortlist_size} profiles (SFDM1)"))
+
+    upper = optimum_upper_bound(dataset.elements[:2_000], dataset.metric, shortlist_size)
+    print()
+    print(
+        "For scale: 2 * div(GMM) on a 2 000-profile sample (an upper bound on the "
+        f"fair optimum) is {upper:.3f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

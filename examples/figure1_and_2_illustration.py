@@ -1,0 +1,86 @@
+"""Reproduce the paper's illustrative Figures 1 and 2 as ASCII scatter plots.
+
+* Figure 1 contrasts max-sum dispersion (which crowds extreme points) with
+  max-min dispersion (which covers the space uniformly) on 2-D points.
+* Figure 2 contrasts the unconstrained max-min solution with a fair one
+  (5 + 5 elements from two groups).
+
+The selected points are rendered on a coarse character grid so the
+qualitative difference is visible without any plotting dependencies.
+
+Run with::
+
+    python examples/figure1_and_2_illustration.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro import SFDM1, equal_representation, gmm, max_sum_greedy, uniform_points  # noqa: E402
+
+
+def ascii_scatter(points, selected_uids, width=48, height=20, marks=None):
+    """Render unit-square points as a character grid; selected points stand out."""
+    marks = marks or {}
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for element in points:
+        x, y = element.vector
+        column = min(width - 1, int(x * (width - 1)))
+        row = min(height - 1, int((1 - y) * (height - 1)))
+        if element.uid in selected_uids:
+            grid[row][column] = marks.get(element.uid, "O")
+        elif grid[row][column] == " ":
+            grid[row][column] = "."
+    border = "+" + "-" * width + "+"
+    return "\n".join([border] + ["|" + "".join(row) + "|" for row in grid] + [border])
+
+
+def main() -> None:
+    k = 10
+    dataset = uniform_points(n=400, m=2, seed=13)
+    elements, metric = dataset.elements, dataset.metric
+
+    # ---- Figure 1: max-sum vs max-min ------------------------------------
+    sum_result = max_sum_greedy(elements, metric, k)
+    min_result = gmm(elements, metric, k)
+    print("Figure 1(a) — max-sum dispersion (tends to pick extreme, similar points):")
+    print(ascii_scatter(elements, set(sum_result.solution.uids)))
+    print(f"max-min diversity of the max-sum selection: {sum_result.solution.diversity:.3f}")
+    print()
+    print("Figure 1(b) — max-min dispersion (uniform coverage):")
+    print(ascii_scatter(elements, set(min_result.solution.uids)))
+    print(f"max-min diversity of the GMM selection:     {min_result.solution.diversity:.3f}")
+    print()
+
+    # ---- Figure 2: unconstrained vs fair ----------------------------------
+    constraint = equal_representation(k, dataset.group_sizes().keys())
+    fair_result = SFDM1(metric, constraint, epsilon=0.1).run(dataset.stream(seed=1))
+    unconstrained_counts = min_result.solution.group_counts()
+    fair_counts = fair_result.solution.group_counts()
+
+    def group_marks(solution):
+        return {e.uid: ("X" if e.group == 0 else "O") for e in solution.elements}
+
+    print("Figure 2(a) — unconstrained solution (groups drawn as X / O):")
+    print(
+        ascii_scatter(
+            elements, set(min_result.solution.uids), marks=group_marks(min_result.solution)
+        )
+    )
+    print(f"group counts: {unconstrained_counts}")
+    print()
+    print("Figure 2(b) — fair solution (5 elements per group):")
+    print(
+        ascii_scatter(
+            elements, set(fair_result.solution.uids), marks=group_marks(fair_result.solution)
+        )
+    )
+    print(f"group counts: {fair_counts}, diversity {fair_result.diversity:.3f}")
+
+
+if __name__ == "__main__":
+    main()

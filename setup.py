@@ -1,0 +1,5 @@
+"""Setup shim for environments where editable installs need the legacy path."""
+
+from setuptools import setup
+
+setup()

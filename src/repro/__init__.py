@@ -1,0 +1,143 @@
+"""Streaming fair diversity maximization.
+
+Reproduction of *"Streaming Algorithms for Diversity Maximization with
+Fairness Constraints"* (Wang, Fabbri, Mathioudakis -- ICDE 2022,
+arXiv:2208.00194).
+
+The package exposes:
+
+* the streaming algorithms :class:`SFDM1`, :class:`SFDM2`, and the
+  unconstrained building block :class:`StreamingDiversityMaximization`;
+* the offline baselines ``gmm``, ``fair_swap``, ``fair_flow``, ``fair_gmm``;
+* the supporting substrates: metrics, streams, fairness constraints,
+  matroids (with matroid intersection), max-flow, datasets, and an
+  experiment harness.
+
+Quickstart
+----------
+>>> from repro import SFDM2, equal_representation, synthetic_blobs
+>>> dataset = synthetic_blobs(n=2_000, m=2, seed=7)
+>>> constraint = equal_representation(k=10, groups=dataset.group_sizes().keys())
+>>> result = SFDM2(metric=dataset.metric, constraint=constraint, epsilon=0.1).run(
+...     dataset.stream(seed=1)
+... )
+>>> result.solution.is_fair
+True
+"""
+
+from repro.core import (
+    Candidate,
+    FairSolution,
+    GuessLadder,
+    RunResult,
+    SFDM1,
+    SFDM2,
+    Solution,
+    StreamingDiversityMaximization,
+)
+from repro.baselines import (
+    exact_dm,
+    exact_fdm,
+    fair_flow,
+    fair_gmm,
+    fair_swap,
+    gmm,
+    max_sum_greedy,
+)
+from repro.datasets import (
+    DatasetSpec,
+    adult_surrogate,
+    celeba_surrogate,
+    census_surrogate,
+    load_dataset,
+    lyrics_surrogate,
+    synthetic_blobs,
+    uniform_points,
+    dataset_names,
+)
+from repro.fairness import (
+    FairnessConstraint,
+    audit_fairness,
+    equal_representation,
+    proportional_representation,
+)
+from repro.metrics import (
+    AngularMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    MetricSpace,
+    angular,
+    cosine,
+    euclidean,
+    hamming,
+    manhattan,
+)
+from repro.streaming import DataStream, Element, StreamStats, stream_from_arrays
+from repro.utils import (
+    EmptyStreamError,
+    InfeasibleConstraintError,
+    InvalidParameterError,
+    NoFeasibleSolutionError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core algorithms
+    "StreamingDiversityMaximization",
+    "SFDM1",
+    "SFDM2",
+    "GuessLadder",
+    "Candidate",
+    "Solution",
+    "FairSolution",
+    "RunResult",
+    # baselines
+    "gmm",
+    "max_sum_greedy",
+    "fair_swap",
+    "fair_flow",
+    "fair_gmm",
+    "exact_dm",
+    "exact_fdm",
+    # datasets
+    "DatasetSpec",
+    "synthetic_blobs",
+    "uniform_points",
+    "adult_surrogate",
+    "celeba_surrogate",
+    "census_surrogate",
+    "lyrics_surrogate",
+    "load_dataset",
+    "dataset_names",
+    # fairness
+    "FairnessConstraint",
+    "equal_representation",
+    "proportional_representation",
+    "audit_fairness",
+    # metrics
+    "Metric",
+    "MetricSpace",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "AngularMetric",
+    "euclidean",
+    "manhattan",
+    "angular",
+    "cosine",
+    "hamming",
+    # streaming
+    "Element",
+    "DataStream",
+    "StreamStats",
+    "stream_from_arrays",
+    # errors
+    "ReproError",
+    "InvalidParameterError",
+    "InfeasibleConstraintError",
+    "EmptyStreamError",
+    "NoFeasibleSolutionError",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Offline baseline algorithms the paper compares against.
+
+* :func:`gmm` — the Gonzalez greedy 1/2-approximation for unconstrained
+  max-min diversity maximization (used both as a comparison point and as
+  the source of the ``2 * div(GMM)`` upper bound on OPT_f).
+* :func:`fair_swap` — the FairSwap algorithm of Moumoulidou et al. (ICDT
+  2021) for ``m = 2``.
+* :func:`fair_flow` — the FairFlow algorithm of Moumoulidou et al. for an
+  arbitrary ``m`` (max-flow based).
+* :func:`fair_gmm` — the FairGMM enumeration algorithm for small ``k, m``.
+* :func:`max_sum_greedy` — greedy max-sum dispersion, used only for the
+  Figure 1 illustration contrasting the two diversity objectives.
+* :func:`exact_fdm` / :func:`exact_dm` — brute-force optima used by the
+  test suite as oracles on small instances.
+"""
+
+from repro.baselines.gmm import gmm, gmm_elements
+from repro.baselines.max_sum import max_sum_greedy
+from repro.baselines.fair_swap import fair_swap
+from repro.baselines.fair_flow import fair_flow
+from repro.baselines.fair_gmm import fair_gmm
+from repro.baselines.exact import exact_dm, exact_fdm
+
+__all__ = [
+    "gmm",
+    "gmm_elements",
+    "max_sum_greedy",
+    "fair_swap",
+    "fair_flow",
+    "fair_gmm",
+    "exact_dm",
+    "exact_fdm",
+]

@@ -1,0 +1,80 @@
+"""Brute-force exact solvers, used as oracles by the test suite.
+
+Both solvers enumerate all feasible subsets, so they are exponential in
+``k`` and only intended for the small instances the tests construct (at
+most a couple of dozen elements).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.solution import diversity_of
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.base import Metric
+from repro.streaming.element import Element
+from repro.utils.errors import InvalidParameterError
+from repro.utils.validation import require_positive_int
+
+
+def exact_dm(
+    elements: Sequence[Element], metric: Metric, k: int, max_elements: int = 25
+) -> Tuple[List[Element], float]:
+    """Exact optimum for unconstrained max-min diversity maximization.
+
+    Returns the optimal subset and its diversity.  Refuses inputs larger
+    than ``max_elements`` to avoid accidental exponential blow-ups in tests.
+    """
+    k = require_positive_int(k, "k")
+    if len(elements) > max_elements:
+        raise InvalidParameterError(
+            f"exact_dm is limited to {max_elements} elements, got {len(elements)}"
+        )
+    if k > len(elements):
+        raise InvalidParameterError(f"k={k} exceeds the number of elements {len(elements)}")
+    best_subset: Optional[Tuple[Element, ...]] = None
+    best_diversity = -1.0
+    for subset in itertools.combinations(elements, k):
+        div = diversity_of(subset, metric)
+        if div > best_diversity:
+            best_diversity = div
+            best_subset = subset
+    assert best_subset is not None
+    return list(best_subset), best_diversity
+
+
+def exact_fdm(
+    elements: Sequence[Element],
+    metric: Metric,
+    constraint: FairnessConstraint,
+    max_elements: int = 25,
+) -> Tuple[List[Element], float]:
+    """Exact optimum for fair max-min diversity maximization.
+
+    Enumerates all ways of picking ``k_i`` elements from each group.
+    Returns the optimal fair subset and its diversity.
+    """
+    if len(elements) > max_elements:
+        raise InvalidParameterError(
+            f"exact_fdm is limited to {max_elements} elements, got {len(elements)}"
+        )
+    per_group_pools = {
+        group: [element for element in elements if element.group == group]
+        for group in constraint.groups
+    }
+    constraint.validate_feasible({g: len(pool) for g, pool in per_group_pools.items()})
+    per_group_choices = [
+        list(itertools.combinations(per_group_pools[group], constraint.quota(group)))
+        for group in constraint.groups
+    ]
+    best_subset: Optional[List[Element]] = None
+    best_diversity = -1.0
+    for combination in itertools.product(*per_group_choices):
+        candidate = [element for part in combination for element in part]
+        div = diversity_of(candidate, metric)
+        if div > best_diversity:
+            best_diversity = div
+            best_subset = candidate
+    assert best_subset is not None
+    return best_subset, best_diversity

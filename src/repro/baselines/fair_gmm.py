@@ -1,0 +1,103 @@
+"""FairGMM — the offline 1/5-approximation by enumeration, for small k and m.
+
+FairGMM (Moumoulidou, McGregor, Meliou — ICDT 2021) runs GMM separately on
+each group to obtain ``k`` well-separated candidates per group, then
+enumerates every way of choosing ``k_i`` of them from group ``i`` and keeps
+the feasible combination with the highest diversity.  The enumeration size
+is ``prod_i C(k, k_i) = O(m^k)``, so the paper only evaluates it for
+``k <= 10`` and ``m <= 5``; this implementation enforces a configurable cap
+on the number of combinations for the same reason.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Sequence
+
+from repro.baselines.gmm import gmm_elements
+from repro.core.result import RunResult
+from repro.core.solution import FairSolution, diversity_of
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.base import Metric
+from repro.metrics.cached import CountingMetric
+from repro.streaming.element import Element
+from repro.streaming.stats import StreamStats
+from repro.utils.errors import InfeasibleConstraintError, InvalidParameterError
+from repro.utils.timer import Timer
+
+
+def _num_combinations(constraint: FairnessConstraint, pool_sizes: Dict[int, int]) -> int:
+    """Total number of per-group candidate combinations FairGMM would enumerate."""
+    total = 1
+    for group in constraint.groups:
+        total *= math.comb(pool_sizes.get(group, 0), constraint.quota(group))
+    return total
+
+
+def fair_gmm(
+    elements: Sequence[Element],
+    metric: Metric,
+    constraint: FairnessConstraint,
+    max_combinations: int = 2_000_000,
+) -> RunResult:
+    """Run FairGMM on ``elements`` and return a :class:`RunResult`.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the enumeration would exceed ``max_combinations`` combinations —
+        the same practical limitation that keeps FairGMM out of most of the
+        paper's experiments.
+    """
+    group_sizes: Dict[int, int] = {}
+    for element in elements:
+        group_sizes[element.group] = group_sizes.get(element.group, 0) + 1
+    constraint.validate_feasible(group_sizes)
+
+    counting = CountingMetric(metric)
+    timer = Timer()
+    k = constraint.total_size
+    with timer.measure():
+        # Per-group candidate sets: GMM restricted to the group, k candidates each
+        # (or fewer when the group is small).
+        candidate_sets: Dict[int, List[Element]] = {}
+        for group in constraint.groups:
+            candidate_sets[group] = gmm_elements(
+                elements, counting, k, restrict_group=group
+            )
+        pool_sizes = {group: len(candidates) for group, candidates in candidate_sets.items()}
+        total_combinations = _num_combinations(constraint, pool_sizes)
+        if total_combinations > max_combinations:
+            raise InvalidParameterError(
+                f"FairGMM would enumerate {total_combinations} combinations, which exceeds "
+                f"the cap of {max_combinations}; use SFDM2 or FairFlow for this setting"
+            )
+
+        per_group_choices = [
+            list(itertools.combinations(candidate_sets[group], constraint.quota(group)))
+            for group in constraint.groups
+        ]
+        best_solution: List[Element] = []
+        best_diversity = -1.0
+        for combination in itertools.product(*per_group_choices):
+            candidate = [element for part in combination for element in part]
+            div = diversity_of(candidate, counting)
+            if div > best_diversity:
+                best_diversity = div
+                best_solution = candidate
+
+    stats = StreamStats(
+        elements_processed=len(elements),
+        stream_distance_computations=counting.calls,
+        peak_stored_elements=len(elements),
+        final_stored_elements=len(elements),
+        stream_seconds=timer.elapsed,
+    )
+    stats.extra["combinations_enumerated"] = float(total_combinations)
+    return RunResult(
+        algorithm="FairGMM",
+        solution=FairSolution(best_solution, counting, constraint),
+        stats=stats,
+        params={"k": k, "quotas": constraint.quotas},
+    )

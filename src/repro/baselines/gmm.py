@@ -1,0 +1,103 @@
+"""GMM — the Gonzalez farthest-point greedy for max-min diversity maximization.
+
+GMM (Gonzalez 1985; Ravi et al. 1994) starts from an arbitrary element and
+repeatedly adds the element farthest from the current selection.  It is a
+1/2-approximation for unconstrained max-min diversity maximization, the best
+possible in polynomial time unless P = NP.  The paper uses ``2 * div(GMM)``
+as an upper bound on the fair optimum OPT_f in all quality plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.result import RunResult
+from repro.core.solution import Solution
+from repro.metrics.base import Metric
+from repro.metrics.cached import CountingMetric
+from repro.streaming.element import Element
+from repro.streaming.stats import StreamStats
+from repro.utils.errors import InvalidParameterError
+from repro.utils.timer import Timer
+from repro.utils.validation import require_positive_int
+
+
+def gmm_elements(
+    elements: Sequence[Element],
+    metric: Metric,
+    k: int,
+    start_index: int = 0,
+    restrict_group: Optional[int] = None,
+) -> List[Element]:
+    """Run the farthest-point greedy and return the selected elements.
+
+    Parameters
+    ----------
+    elements:
+        The candidate pool (the full dataset for the offline baseline).
+    metric:
+        Distance metric.
+    k:
+        Number of elements to select (capped at the pool size).
+    start_index:
+        Index of the seed element within the (possibly group-restricted)
+        pool; the paper seeds with the first element.
+    restrict_group:
+        If given, only elements of this group are considered — used by
+        FairSwap and FairGMM to build group-specific candidate sets.
+    """
+    k = require_positive_int(k, "k")
+    pool = [
+        element
+        for element in elements
+        if restrict_group is None or element.group == restrict_group
+    ]
+    if not pool:
+        return []
+    if not (0 <= start_index < len(pool)):
+        raise InvalidParameterError(
+            f"start_index {start_index} out of range for a pool of {len(pool)} elements"
+        )
+    selected = [pool[start_index]]
+    # Maintain, for every pool element, its distance to the current selection.
+    nearest = [metric.distance(element.vector, selected[0].vector) for element in pool]
+    nearest[start_index] = -1.0  # exclude the seed from future selection
+    while len(selected) < min(k, len(pool)):
+        best_index = max(range(len(pool)), key=lambda i: nearest[i])
+        if nearest[best_index] < 0:
+            break
+        chosen = pool[best_index]
+        selected.append(chosen)
+        nearest[best_index] = -1.0
+        for i, element in enumerate(pool):
+            if nearest[i] < 0:
+                continue
+            d = metric.distance(element.vector, chosen.vector)
+            if d < nearest[i]:
+                nearest[i] = d
+    return selected
+
+
+def gmm(elements: Sequence[Element], metric: Metric, k: int) -> RunResult:
+    """Offline GMM baseline packaged as a :class:`RunResult`.
+
+    The offline baselines keep the full dataset in memory, so the stored-
+    element count equals the dataset size (as in the paper's accounting).
+    """
+    counting = CountingMetric(metric)
+    timer = Timer()
+    with timer.measure():
+        selected = gmm_elements(elements, counting, k)
+    stats = StreamStats(
+        elements_processed=len(elements),
+        stream_distance_computations=counting.calls,
+        peak_stored_elements=len(elements),
+        final_stored_elements=len(elements),
+        stream_seconds=timer.elapsed,
+    )
+    return RunResult(
+        algorithm="GMM",
+        solution=Solution(selected, counting),
+        stats=stats,
+        params={"k": k},
+    )

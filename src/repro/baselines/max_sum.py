@@ -1,0 +1,78 @@
+"""Greedy max-sum dispersion, used only for the Figure 1 illustration.
+
+The max-sum objective maximizes the *sum* of pairwise distances of the
+selected subset.  The classic 1/2-approximation greedy repeatedly adds the
+element with the largest total distance to the current selection.  The paper
+uses it only to illustrate (Figure 1) why max-min is preferable when uniform
+coverage matters; it is not part of the evaluated algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.result import RunResult
+from repro.core.solution import Solution
+from repro.metrics.base import Metric
+from repro.metrics.cached import CountingMetric
+from repro.streaming.element import Element
+from repro.streaming.stats import StreamStats
+from repro.utils.timer import Timer
+from repro.utils.validation import require_positive_int
+
+
+def max_sum_greedy(elements: Sequence[Element], metric: Metric, k: int) -> RunResult:
+    """Greedy 1/2-approximation for max-sum dispersion packaged as a run result."""
+    k = require_positive_int(k, "k")
+    counting = CountingMetric(metric)
+    timer = Timer()
+    with timer.measure():
+        selected: List[Element] = []
+        remaining = list(elements)
+        if remaining:
+            # Seed with the globally farthest pair, the standard greedy start.
+            best_pair = None
+            best_distance = -1.0
+            for i in range(len(remaining)):
+                for j in range(i + 1, len(remaining)):
+                    d = counting.distance(remaining[i].vector, remaining[j].vector)
+                    if d > best_distance:
+                        best_distance = d
+                        best_pair = (i, j)
+            if best_pair is None:
+                selected = remaining[:k]
+            else:
+                first, second = best_pair
+                selected = [remaining[first], remaining[second]]
+                chosen_uids = {element.uid for element in selected}
+                while len(selected) < min(k, len(remaining)):
+                    best_element = None
+                    best_gain = -1.0
+                    for element in remaining:
+                        if element.uid in chosen_uids:
+                            continue
+                        gain = sum(
+                            counting.distance(element.vector, member.vector)
+                            for member in selected
+                        )
+                        if gain > best_gain:
+                            best_gain = gain
+                            best_element = element
+                    if best_element is None:
+                        break
+                    selected.append(best_element)
+                    chosen_uids.add(best_element.uid)
+                selected = selected[:k]
+    stats = StreamStats(
+        elements_processed=len(elements),
+        stream_distance_computations=counting.calls,
+        peak_stored_elements=len(elements),
+        final_stored_elements=len(elements),
+        stream_seconds=timer.elapsed,
+    )
+    return RunResult(
+        algorithm="MaxSumGreedy",
+        solution=Solution(selected, counting),
+        stats=stats,
+        params={"k": k},
+    )

@@ -1,0 +1,163 @@
+"""Command-line interface for running fair diversity maximization experiments.
+
+Examples
+--------
+Run SFDM2 on the Adult (race) surrogate with k = 20::
+
+    python -m repro run --dataset adult-race --algorithm SFDM2 -k 20
+
+Compare every applicable algorithm on a synthetic stream and save a CSV::
+
+    python -m repro compare --dataset synthetic-m10 -k 20 --output results.csv
+
+List the available datasets::
+
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.evaluation.harness import (
+    ExperimentConfig,
+    default_algorithms,
+    run_algorithm,
+    run_experiment,
+)
+from repro.evaluation.reporting import format_table, records_to_rows, write_csv
+from repro.utils.errors import ReproError
+
+_ALGORITHM_CHOICES = ("SFDM1", "SFDM2", "GMM", "FairSwap", "FairFlow", "FairGMM")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming fair diversity maximization (ICDE 2022 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser("datasets", help="list available datasets")
+    datasets_parser.set_defaults(func=_cmd_datasets)
+
+    run_parser = subparsers.add_parser("run", help="run one algorithm on one dataset")
+    _add_common_arguments(run_parser)
+    run_parser.add_argument(
+        "--algorithm",
+        choices=_ALGORITHM_CHOICES,
+        default="SFDM2",
+        help="algorithm to run (default: SFDM2)",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run every applicable algorithm on one dataset"
+    )
+    _add_common_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--include-fair-gmm",
+        action="store_true",
+        help="also run the enumeration-based FairGMM baseline (small k/m only)",
+    )
+    compare_parser.add_argument("--output", help="write the result rows to this CSV file")
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        required=True,
+        help=f"dataset name (one of: {', '.join(dataset_names())})",
+    )
+    parser.add_argument("-k", type=int, default=20, help="solution size (default 20)")
+    parser.add_argument("--epsilon", type=float, default=0.1, help="guess-ladder epsilon")
+    parser.add_argument("--n", type=int, default=None, help="override the dataset size")
+    parser.add_argument("--seed", type=int, default=42, help="base RNG seed")
+    parser.add_argument(
+        "--fairness",
+        choices=("equal", "proportional"),
+        default="equal",
+        help="quota rule (default: equal representation)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=1, help="stream permutations to average over"
+    )
+
+
+_COLUMNS = [
+    "dataset",
+    "algorithm",
+    "k",
+    "m",
+    "fairness",
+    "diversity",
+    "total_seconds",
+    "stored_elements",
+]
+
+
+def _make_config(args: argparse.Namespace) -> ExperimentConfig:
+    dataset = load_dataset(args.dataset, n=args.n, seed=args.seed)
+    return ExperimentConfig(
+        dataset=dataset,
+        k=args.k,
+        epsilon=args.epsilon,
+        fairness=args.fairness,
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+    )
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    for name in dataset_names():
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    spec = next(
+        (s for s in default_algorithms(include_fair_gmm=True) if s.name == args.algorithm), None
+    )
+    if spec is None:
+        print(f"unknown algorithm {args.algorithm}", file=sys.stderr)
+        return 2
+    record = run_algorithm(spec, config)
+    rows = records_to_rows([record], columns=_COLUMNS)
+    print(format_table(rows, columns=_COLUMNS, title=f"{args.algorithm} on {args.dataset}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    records = run_experiment(
+        [config], algorithms=default_algorithms(include_fair_gmm=args.include_fair_gmm)
+    )
+    rows = records_to_rows(records, columns=_COLUMNS)
+    print(format_table(rows, columns=_COLUMNS, title=f"comparison on {args.dataset}"))
+    if args.output:
+        path = write_csv(rows, args.output, columns=_COLUMNS)
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Core contribution: the streaming fair diversity maximization algorithms.
+
+* :class:`StreamingDiversityMaximization` — Algorithm 1 (Borassi et al.),
+  the unconstrained streaming building block with the improved ``(1-ε)/2``
+  analysis.
+* :class:`SFDM1` — Algorithm 2, the ``(1-ε)/4``-approximate streaming
+  algorithm for two groups.
+* :class:`SFDM2` — Algorithm 3, the ``(1-ε)/(3m+2)``-approximate streaming
+  algorithm for any number of groups, with the matroid-intersection
+  post-processing of Algorithm 4.
+"""
+
+from repro.core.guesses import GuessLadder
+from repro.core.candidate import Candidate
+from repro.core.solution import Solution, FairSolution
+from repro.core.result import RunResult
+from repro.core.streaming_dm import StreamingDiversityMaximization
+from repro.core.sfdm1 import SFDM1
+from repro.core.sfdm2 import SFDM2
+from repro.core.local_search import local_search_improve
+from repro.core.coreset import coreset_fair_diversity, composable_fair_coreset
+
+__all__ = [
+    "GuessLadder",
+    "Candidate",
+    "Solution",
+    "FairSolution",
+    "RunResult",
+    "StreamingDiversityMaximization",
+    "SFDM1",
+    "SFDM2",
+    "local_search_improve",
+    "coreset_fair_diversity",
+    "composable_fair_coreset",
+]

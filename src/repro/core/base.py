@@ -1,0 +1,134 @@
+"""Shared plumbing for the streaming algorithms.
+
+All three streaming algorithms (Algorithm 1, SFDM1, SFDM2) share the same
+skeleton: estimate or accept distance bounds, build the guess ladder,
+maintain per-guess candidates while consuming the stream once, then
+post-process and select the best candidate.  :class:`StreamingAlgorithm`
+hosts the common pieces (bounds handling, counting metric, stats plumbing)
+so the algorithm classes read close to the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.guesses import GuessLadder
+from repro.metrics.base import Metric
+from repro.metrics.cached import CountingMetric
+from repro.metrics.space import exact_distance_bounds
+from repro.streaming.element import Element
+from repro.streaming.stats import StreamStats
+from repro.utils.errors import EmptyStreamError, InvalidParameterError
+from repro.utils.timer import StageTimer
+from repro.utils.validation import require_in_open_interval
+
+
+class StreamingAlgorithm:
+    """Base class holding the pieces common to all streaming FDM algorithms.
+
+    Parameters
+    ----------
+    metric:
+        The distance metric of the underlying metric space.
+    epsilon:
+        Guess-ladder resolution in ``(0, 1)``.
+    distance_bounds:
+        Optional ``(d_min, d_max)``.  When omitted, bounds are estimated
+        from the first ``warmup_size`` stream elements (which are buffered
+        and then processed normally, so the algorithm remains one-pass).
+    warmup_size:
+        Number of elements buffered for bound estimation when
+        ``distance_bounds`` is not supplied.
+    """
+
+    #: Overridden by subclasses; used in reports.
+    name = "streaming-algorithm"
+
+    def __init__(
+        self,
+        metric: Metric,
+        epsilon: float = 0.1,
+        distance_bounds: Optional[Tuple[float, float]] = None,
+        warmup_size: int = 64,
+    ) -> None:
+        self.metric = metric
+        self.epsilon = require_in_open_interval(epsilon, 0.0, 1.0, "epsilon")
+        if distance_bounds is not None:
+            d_min, d_max = distance_bounds
+            if not (0 < d_min <= d_max):
+                raise InvalidParameterError(
+                    f"distance_bounds must satisfy 0 < d_min <= d_max, got {distance_bounds}"
+                )
+        self.distance_bounds = distance_bounds
+        if warmup_size < 2:
+            raise InvalidParameterError("warmup_size must be at least 2")
+        self.warmup_size = int(warmup_size)
+
+    # ------------------------------------------------------------------
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def _counting_metric(self) -> CountingMetric:
+        """A fresh counting wrapper around the user metric for one run."""
+        return CountingMetric(self.metric)
+
+    def _resolve_bounds(
+        self, stream: Iterable[Element], metric: Metric
+    ) -> Tuple[Tuple[float, float], List[Element], Iterator[Element]]:
+        """Return ``(bounds, buffered_prefix, remaining_iterator)`` for ``stream``.
+
+        When explicit bounds were supplied the prefix is empty and the whole
+        stream is "remaining".  Otherwise the first ``warmup_size`` elements
+        are buffered, exact bounds are computed on them, and both the buffer
+        and the rest of the stream are handed back so every element is still
+        processed exactly once.
+        """
+        iterator = iter(stream)
+        if self.distance_bounds is not None:
+            return self.distance_bounds, [], iterator
+        buffered: List[Element] = []
+        for element in iterator:
+            buffered.append(element)
+            if len(buffered) >= self.warmup_size:
+                break
+        if not buffered:
+            raise EmptyStreamError(f"{self.name} received an empty stream")
+        if len(buffered) == 1:
+            # A single element: any positive bounds work, the ladder is trivial.
+            return (1.0, 1.0), buffered, iterator
+        d_min, d_max = exact_distance_bounds(buffered, metric)
+        # Widen the estimate: the sample minimum overestimates the global
+        # d_min and the sample maximum underestimates the global d_max.
+        return (d_min / 4.0, d_max * 4.0), buffered, iterator
+
+    def _build_ladder(self, bounds: Tuple[float, float]) -> GuessLadder:
+        """Guess ladder for the resolved bounds."""
+        d_min, d_max = bounds
+        return GuessLadder(d_min=d_min, d_max=d_max, epsilon=self.epsilon)
+
+    @staticmethod
+    def _chain(prefix: List[Element], rest: Iterator[Element]) -> Iterator[Element]:
+        """Iterate the buffered prefix and then the remaining stream."""
+        for element in prefix:
+            yield element
+        for element in rest:
+            yield element
+
+    @staticmethod
+    def _new_stats() -> Tuple[StreamStats, StageTimer]:
+        """Fresh stats object and stage timer for one run."""
+        return StreamStats(), StageTimer()
+
+    @staticmethod
+    def _finalize_stats(
+        stats: StreamStats,
+        stages: StageTimer,
+        counting: CountingMetric,
+        stream_calls: int,
+        stored_elements: int,
+    ) -> None:
+        """Copy timer and counter values into ``stats`` after a run."""
+        stats.stream_seconds = stages.elapsed("stream")
+        stats.postprocess_seconds = stages.elapsed("postprocess")
+        stats.stream_distance_computations = stream_calls
+        stats.postprocess_distance_computations = counting.calls - stream_calls
+        stats.record_stored(stored_elements)

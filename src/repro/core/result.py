@@ -1,0 +1,62 @@
+"""Run results: solution plus resource accounting for one algorithm run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.solution import Solution
+from repro.streaming.stats import StreamStats
+
+
+@dataclass
+class RunResult:
+    """Everything one algorithm run produced.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm (``"SFDM1"``, ``"FairSwap"``, …).
+    solution:
+        The returned solution, or ``None`` when the run could not produce a
+        feasible solution (callers decide whether that is an error).
+    stats:
+        Resource accounting gathered during the run.
+    params:
+        The parameters the run was invoked with (k, epsilon, quotas, …) so
+        experiment records are self-describing.
+    """
+
+    algorithm: str
+    solution: Optional[Solution]
+    stats: StreamStats
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def diversity(self) -> float:
+        """Diversity of the solution; ``0.0`` when there is no solution."""
+        if self.solution is None:
+            return 0.0
+        return self.solution.diversity
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the run produced a solution."""
+        return self.solution is not None
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat dictionary used by the evaluation harness and the benchmarks."""
+        data: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "diversity": self.diversity,
+            "solution_size": self.solution.size if self.solution else 0,
+            **{f"param_{key}": value for key, value in self.params.items()},
+        }
+        data.update(self.stats.as_dict())
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunResult(algorithm={self.algorithm!r}, diversity={self.diversity:.4g}, "
+            f"time={self.stats.total_seconds:.4g}s, stored={self.stats.peak_stored_elements})"
+        )

@@ -1,0 +1,172 @@
+"""SFDM1 (Algorithm 2): streaming fair diversity maximization for two groups.
+
+Stream phase: for every guess ``µ`` keep one group-blind candidate with
+capacity ``k`` and one group-specific candidate per group with capacity
+``k_i``, all fed by the Algorithm 1 update rule.  Post-processing: on the
+guesses whose candidates are all full, balance the group-blind candidate by
+swapping in far elements of the under-filled group and swapping out close
+elements of the over-filled group.  The result is ``(1-ε)/4``-approximate
+(Theorem 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.base import StreamingAlgorithm
+from repro.core.candidate import Candidate
+from repro.core.postprocess import balance_by_swapping, greedy_fair_fill
+from repro.core.result import RunResult
+from repro.core.solution import FairSolution
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.base import Metric
+from repro.streaming.element import Element
+from repro.utils.errors import InvalidParameterError, NoFeasibleSolutionError
+
+
+class SFDM1(StreamingAlgorithm):
+    """The paper's ``(1-ε)/4``-approximate streaming algorithm for ``m = 2``.
+
+    Parameters
+    ----------
+    metric:
+        Distance metric of the underlying space.
+    constraint:
+        Fairness constraint with exactly two groups.
+    epsilon:
+        Guess-ladder resolution in ``(0, 1)``.
+    distance_bounds:
+        Optional known ``(d_min, d_max)``; estimated from a stream prefix
+        when omitted.
+    fallback:
+        When ``True`` (default) and no guess admits the paper's exact
+        post-processing, a greedy fair selection over all stored elements is
+        returned instead of raising.  Set to ``False`` to get the strict
+        paper behaviour.
+    """
+
+    name = "SFDM1"
+
+    def __init__(
+        self,
+        metric: Metric,
+        constraint: FairnessConstraint,
+        epsilon: float = 0.1,
+        distance_bounds: Optional[Tuple[float, float]] = None,
+        warmup_size: int = 64,
+        fallback: bool = True,
+    ) -> None:
+        super().__init__(
+            metric, epsilon=epsilon, distance_bounds=distance_bounds, warmup_size=warmup_size
+        )
+        if constraint.num_groups != 2:
+            raise InvalidParameterError(
+                f"SFDM1 supports exactly two groups, got {constraint.num_groups}; use SFDM2"
+            )
+        self.constraint = constraint
+        self.fallback = bool(fallback)
+
+    # ------------------------------------------------------------------
+    def run(self, stream: Iterable[Element]) -> RunResult:
+        """Consume ``stream`` in one pass and return a fair solution."""
+        counting = self._counting_metric()
+        stats, stages = self._new_stats()
+        k = self.constraint.total_size
+        groups = self.constraint.groups
+
+        with stages.stage("stream"):
+            bounds, prefix, rest = self._resolve_bounds(stream, counting)
+            ladder = self._build_ladder(bounds)
+            blind: List[Candidate] = []
+            specific: List[Dict[int, Candidate]] = []
+            for mu in ladder:
+                blind.append(Candidate(mu=mu, capacity=k, metric=counting))
+                specific.append(
+                    {
+                        group: Candidate(
+                            mu=mu,
+                            capacity=self.constraint.quota(group),
+                            metric=counting,
+                            group=group,
+                        )
+                        for group in groups
+                    }
+                )
+            for element in self._chain(prefix, rest):
+                stats.elements_processed += 1
+                for index in range(len(ladder)):
+                    blind[index].offer(element)
+                    candidate = specific[index].get(element.group)
+                    if candidate is not None:
+                        candidate.offer(element)
+        stream_calls = counting.calls
+
+        with stages.stage("postprocess"):
+            best: Optional[FairSolution] = None
+            eligible_count = 0
+            for index in range(len(ladder)):
+                if len(blind[index]) != k:
+                    continue
+                if any(
+                    len(specific[index][group]) != self.constraint.quota(group)
+                    for group in groups
+                ):
+                    continue
+                eligible_count += 1
+                balanced = balance_by_swapping(
+                    blind=blind[index].elements,
+                    group_candidates={
+                        group: specific[index][group].elements for group in groups
+                    },
+                    constraint=self.constraint,
+                    metric=counting,
+                )
+                candidate_solution = FairSolution(balanced, counting, self.constraint)
+                if not candidate_solution.is_fair:
+                    continue
+                if best is None or candidate_solution.diversity > best.diversity:
+                    best = candidate_solution
+
+            if best is None and self.fallback:
+                pool = self._stored_elements(blind, specific)
+                filled = greedy_fair_fill(pool, self.constraint, counting)
+                candidate_solution = FairSolution(filled, counting, self.constraint)
+                if candidate_solution.is_fair:
+                    best = candidate_solution
+
+        stored = len({e.uid for e in self._stored_elements(blind, specific)})
+        stats.extra["num_guesses"] = len(ladder)
+        stats.extra["eligible_guesses"] = eligible_count
+        self._finalize_stats(stats, stages, counting, stream_calls, stored)
+
+        if best is None:
+            raise NoFeasibleSolutionError(
+                "SFDM1 could not build a fair solution; the stream may not contain "
+                "enough elements of every group"
+            )
+        return RunResult(
+            algorithm=self.name,
+            solution=best,
+            stats=stats,
+            params={
+                "k": k,
+                "epsilon": self.epsilon,
+                "quotas": self.constraint.quotas,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stored_elements(
+        blind: List[Candidate], specific: List[Dict[int, Candidate]]
+    ) -> List[Element]:
+        """All distinct elements currently held by any candidate."""
+        seen: Dict[int, Element] = {}
+        for candidate in blind:
+            for element in candidate:
+                seen.setdefault(element.uid, element)
+        for per_group in specific:
+            for candidate in per_group.values():
+                for element in candidate:
+                    seen.setdefault(element.uid, element)
+        return list(seen.values())

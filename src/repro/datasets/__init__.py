@@ -1,0 +1,32 @@
+"""Dataset generators and surrogates for the paper's evaluation datasets.
+
+Because the original datasets (Adult, CelebA, Census, Lyrics) cannot be
+downloaded in this environment, each is represented by a synthetic
+*surrogate* that reproduces the statistics that matter to the algorithms:
+the number of points, the feature dimensionality, the distance metric, and
+the number and skew of the sensitive groups.  See DESIGN.md §2.3 for the
+substitution rationale.
+"""
+
+from repro.datasets.spec import DatasetSpec
+from repro.datasets.synthetic import synthetic_blobs, uniform_points
+from repro.datasets.surrogates import (
+    adult_surrogate,
+    celeba_surrogate,
+    census_surrogate,
+    lyrics_surrogate,
+)
+from repro.datasets.registry import DATASETS, load_dataset, dataset_names
+
+__all__ = [
+    "DatasetSpec",
+    "synthetic_blobs",
+    "uniform_points",
+    "adult_surrogate",
+    "celeba_surrogate",
+    "census_surrogate",
+    "lyrics_surrogate",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+]

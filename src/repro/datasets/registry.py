@@ -1,0 +1,73 @@
+"""Registry mapping paper dataset/group-setting names to generator calls.
+
+The evaluation harness and the benchmarks look datasets up by the names used
+in the paper's Table II (e.g. ``"adult-sex"``, ``"census-age"``) so that the
+experiment code reads like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.datasets.spec import DatasetSpec
+from repro.datasets.surrogates import (
+    adult_surrogate,
+    celeba_surrogate,
+    census_surrogate,
+    lyrics_surrogate,
+)
+from repro.datasets.synthetic import synthetic_blobs
+from repro.utils.errors import InvalidParameterError
+
+DatasetFactory = Callable[..., DatasetSpec]
+
+#: Name -> factory for every dataset/group setting in the paper's Table II,
+#: plus the synthetic workloads.  Factories accept ``n`` and ``seed``.
+DATASETS: Dict[str, DatasetFactory] = {
+    "adult-sex": lambda n=5_000, seed=None: adult_surrogate(n=n, group_by="sex", seed=seed),
+    "adult-race": lambda n=5_000, seed=None: adult_surrogate(n=n, group_by="race", seed=seed),
+    "adult-sex+race": lambda n=5_000, seed=None: adult_surrogate(
+        n=n, group_by="sex+race", seed=seed
+    ),
+    "celeba-sex": lambda n=5_000, seed=None: celeba_surrogate(n=n, group_by="sex", seed=seed),
+    "celeba-age": lambda n=5_000, seed=None: celeba_surrogate(n=n, group_by="age", seed=seed),
+    "celeba-sex+age": lambda n=5_000, seed=None: celeba_surrogate(
+        n=n, group_by="sex+age", seed=seed
+    ),
+    "census-sex": lambda n=10_000, seed=None: census_surrogate(n=n, group_by="sex", seed=seed),
+    "census-age": lambda n=10_000, seed=None: census_surrogate(n=n, group_by="age", seed=seed),
+    "census-sex+age": lambda n=10_000, seed=None: census_surrogate(
+        n=n, group_by="sex+age", seed=seed
+    ),
+    "lyrics-genre": lambda n=5_000, seed=None: lyrics_surrogate(n=n, seed=seed),
+    "synthetic-m2": lambda n=10_000, seed=None: synthetic_blobs(n=n, m=2, seed=seed),
+    "synthetic-m10": lambda n=10_000, seed=None: synthetic_blobs(n=n, m=10, seed=seed),
+}
+
+
+def dataset_names() -> List[str]:
+    """All registered dataset names in registry order."""
+    return list(DATASETS.keys())
+
+
+def load_dataset(name: str, n: Optional[int] = None, seed: Optional[int] = None) -> DatasetSpec:
+    """Instantiate the dataset registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`dataset_names`.
+    n:
+        Override the default number of elements (``None`` keeps the
+        registry default for that dataset).
+    seed:
+        RNG seed forwarded to the generator.
+    """
+    factory = DATASETS.get(name)
+    if factory is None:
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; available: {', '.join(dataset_names())}"
+        )
+    if n is None:
+        return factory(seed=seed)
+    return factory(n=n, seed=seed)

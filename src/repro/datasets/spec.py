@@ -1,0 +1,68 @@
+"""Value object bundling a generated dataset with its metric and metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.base import Metric
+from repro.metrics.space import MetricSpace
+from repro.streaming.element import Element
+from repro.streaming.stream import DataStream
+
+
+@dataclass
+class DatasetSpec:
+    """A fully materialised dataset ready to be streamed or used offline.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier used in reports (e.g. ``"adult-sex"``).
+    elements:
+        The generated elements in canonical order.
+    metric:
+        The distance metric the paper uses for this dataset.
+    group_names:
+        Optional mapping from group label to a human-readable name.
+    notes:
+        Free-text description of how the data was generated (surrogate
+        parameters, scaling decisions, …).
+    """
+
+    name: str
+    elements: List[Element]
+    metric: Metric
+    group_names: Dict[int, str] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def size(self) -> int:
+        """Number of elements ``n``."""
+        return len(self.elements)
+
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct groups ``m``."""
+        return len({element.group for element in self.elements})
+
+    def group_sizes(self) -> Dict[int, int]:
+        """Mapping of group label to element count."""
+        sizes: Dict[int, int] = {}
+        for element in self.elements:
+            sizes[element.group] = sizes.get(element.group, 0) + 1
+        return sizes
+
+    def stream(self, seed: Optional[int] = None) -> DataStream:
+        """A one-pass stream over the dataset, shuffled with ``seed`` if given."""
+        return DataStream(self.elements, shuffle_seed=seed, name=self.name)
+
+    def space(self) -> MetricSpace:
+        """The offline :class:`MetricSpace` view used by baselines and oracles."""
+        return MetricSpace(self.elements, self.metric)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatasetSpec(name={self.name!r}, n={self.size}, m={self.num_groups}, "
+            f"metric={self.metric.name})"
+        )

@@ -1,0 +1,273 @@
+"""Experiment harness: run algorithm suites over datasets and collect records.
+
+The harness mirrors the paper's experimental protocol:
+
+* every run is repeated over several random permutations of the dataset and
+  the measures are averaged;
+* streaming algorithms consume a one-pass :class:`DataStream`;
+* offline baselines receive the full element list (they keep everything in
+  memory, which is reflected in their stored-element accounting);
+* the per-run records carry diversity, timings, and space so each
+  table/figure script only needs to select and format columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.fair_flow import fair_flow
+from repro.baselines.fair_gmm import fair_gmm
+from repro.baselines.fair_swap import fair_swap
+from repro.baselines.gmm import gmm
+from repro.core.result import RunResult
+from repro.core.sfdm1 import SFDM1
+from repro.core.sfdm2 import SFDM2
+from repro.datasets.spec import DatasetSpec
+from repro.fairness.constraints import (
+    FairnessConstraint,
+    equal_representation,
+    proportional_representation,
+)
+from repro.utils.errors import InvalidParameterError, ReproError
+from repro.utils.rng import derive_seed
+
+#: An algorithm runner takes (dataset, constraint, epsilon, permutation seed)
+#: and returns a RunResult.
+AlgorithmRunner = Callable[[DatasetSpec, FairnessConstraint, float, Optional[int]], RunResult]
+
+
+@dataclass
+class AlgorithmSpec:
+    """A named algorithm plus the runner closure the harness invokes."""
+
+    name: str
+    runner: AlgorithmRunner
+    #: Whether the algorithm is a streaming algorithm (affects which seeds
+    #: the harness varies — offline algorithms are order-insensitive).
+    streaming: bool = True
+    #: Maximum number of groups supported (None = unlimited).
+    max_groups: Optional[int] = None
+
+    def supports(self, constraint: FairnessConstraint) -> bool:
+        """Whether this algorithm can run under ``constraint``."""
+        return self.max_groups is None or constraint.num_groups <= self.max_groups
+
+
+def _run_sfdm1(
+    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
+) -> RunResult:
+    algorithm = SFDM1(metric=dataset.metric, constraint=constraint, epsilon=epsilon)
+    return algorithm.run(dataset.stream(seed=seed))
+
+
+def _run_sfdm2(
+    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
+) -> RunResult:
+    algorithm = SFDM2(metric=dataset.metric, constraint=constraint, epsilon=epsilon)
+    return algorithm.run(dataset.stream(seed=seed))
+
+
+def _run_gmm(
+    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
+) -> RunResult:
+    return gmm(dataset.elements, dataset.metric, constraint.total_size)
+
+
+def _run_fair_swap(
+    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
+) -> RunResult:
+    return fair_swap(dataset.elements, dataset.metric, constraint)
+
+
+def _run_fair_flow(
+    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
+) -> RunResult:
+    return fair_flow(dataset.elements, dataset.metric, constraint)
+
+
+def _run_fair_gmm(
+    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
+) -> RunResult:
+    return fair_gmm(dataset.elements, dataset.metric, constraint)
+
+
+def streaming_algorithms() -> List[AlgorithmSpec]:
+    """The paper's proposed streaming algorithms."""
+    return [
+        AlgorithmSpec(name="SFDM1", runner=_run_sfdm1, streaming=True, max_groups=2),
+        AlgorithmSpec(name="SFDM2", runner=_run_sfdm2, streaming=True),
+    ]
+
+
+def offline_algorithms(include_fair_gmm: bool = False) -> List[AlgorithmSpec]:
+    """The offline comparison algorithms (GMM, FairSwap, FairFlow[, FairGMM])."""
+    specs = [
+        AlgorithmSpec(name="GMM", runner=_run_gmm, streaming=False),
+        AlgorithmSpec(name="FairSwap", runner=_run_fair_swap, streaming=False, max_groups=2),
+        AlgorithmSpec(name="FairFlow", runner=_run_fair_flow, streaming=False),
+    ]
+    if include_fair_gmm:
+        specs.append(
+            AlgorithmSpec(name="FairGMM", runner=_run_fair_gmm, streaming=False, max_groups=5)
+        )
+    return specs
+
+
+def default_algorithms(include_fair_gmm: bool = False) -> List[AlgorithmSpec]:
+    """Offline baselines followed by the streaming algorithms (Table II order)."""
+    return offline_algorithms(include_fair_gmm=include_fair_gmm) + streaming_algorithms()
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration of one experiment cell (dataset x constraint x parameters)."""
+
+    dataset: DatasetSpec
+    k: int
+    epsilon: float = 0.1
+    fairness: str = "equal"
+    repetitions: int = 3
+    base_seed: int = 42
+    constraint: Optional[FairnessConstraint] = None
+
+    def resolve_constraint(self) -> FairnessConstraint:
+        """The fairness constraint for this cell (built from ``fairness`` if absent)."""
+        if self.constraint is not None:
+            return self.constraint
+        group_sizes = self.dataset.group_sizes()
+        if self.fairness == "equal":
+            return equal_representation(self.k, list(group_sizes.keys()))
+        if self.fairness == "proportional":
+            return proportional_representation(self.k, group_sizes)
+        raise InvalidParameterError(
+            f"fairness must be 'equal' or 'proportional', got {self.fairness!r}"
+        )
+
+
+@dataclass
+class ExperimentRecord:
+    """Averaged measurements of one algorithm on one experiment cell."""
+
+    dataset: str
+    algorithm: str
+    k: int
+    m: int
+    epsilon: float
+    fairness: str
+    diversity: float
+    total_seconds: float
+    stream_seconds: float
+    postprocess_seconds: float
+    stored_elements: float
+    repetitions: int
+    failures: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary representation (used for CSV and table rows)."""
+        data = {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "m": self.m,
+            "epsilon": self.epsilon,
+            "fairness": self.fairness,
+            "diversity": self.diversity,
+            "total_seconds": self.total_seconds,
+            "stream_seconds": self.stream_seconds,
+            "postprocess_seconds": self.postprocess_seconds,
+            "stored_elements": self.stored_elements,
+            "repetitions": self.repetitions,
+            "failures": self.failures,
+        }
+        data.update(self.extra)
+        return data
+
+
+def run_algorithm(
+    spec: AlgorithmSpec, config: ExperimentConfig
+) -> ExperimentRecord:
+    """Run one algorithm on one experiment cell, averaged over permutations.
+
+    Offline algorithms are order-insensitive, so they are run once;
+    streaming algorithms are run ``config.repetitions`` times over different
+    stream permutations (matching the paper's protocol of averaging over ten
+    permutations, with a smaller default for quick local runs).
+    """
+    constraint = config.resolve_constraint()
+    if not spec.supports(constraint):
+        raise InvalidParameterError(
+            f"{spec.name} does not support m={constraint.num_groups} groups"
+        )
+    repetitions = config.repetitions if spec.streaming else 1
+    diversities: List[float] = []
+    total_seconds: List[float] = []
+    stream_seconds: List[float] = []
+    post_seconds: List[float] = []
+    stored: List[float] = []
+    failures = 0
+    for repetition in range(repetitions):
+        seed = derive_seed(config.base_seed, repetition)
+        try:
+            result = spec.runner(config.dataset, constraint, config.epsilon, seed)
+        except ReproError:
+            failures += 1
+            continue
+        diversities.append(result.diversity)
+        total_seconds.append(result.stats.total_seconds)
+        stream_seconds.append(result.stats.stream_seconds)
+        post_seconds.append(result.stats.postprocess_seconds)
+        stored.append(float(result.stats.peak_stored_elements))
+
+    def _mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return ExperimentRecord(
+        dataset=config.dataset.name,
+        algorithm=spec.name,
+        k=config.k,
+        m=constraint.num_groups,
+        epsilon=config.epsilon,
+        fairness=config.fairness,
+        diversity=_mean(diversities),
+        total_seconds=_mean(total_seconds),
+        stream_seconds=_mean(stream_seconds),
+        postprocess_seconds=_mean(post_seconds),
+        stored_elements=_mean(stored),
+        repetitions=repetitions,
+        failures=failures,
+    )
+
+
+def run_experiment(
+    configs: Sequence[ExperimentConfig],
+    algorithms: Optional[Sequence[AlgorithmSpec]] = None,
+    skip_unsupported: bool = True,
+) -> List[ExperimentRecord]:
+    """Run a suite of algorithms over a list of experiment cells.
+
+    Parameters
+    ----------
+    configs:
+        The experiment cells (dataset x parameters).
+    algorithms:
+        Algorithm suite; defaults to :func:`default_algorithms`.
+    skip_unsupported:
+        When ``True`` (default) algorithms that cannot handle a cell's group
+        count (e.g. SFDM1 and FairSwap for m > 2) are skipped silently, as
+        in the paper's Table II.
+    """
+    algorithms = list(algorithms) if algorithms is not None else default_algorithms()
+    records: List[ExperimentRecord] = []
+    for config in configs:
+        constraint = config.resolve_constraint()
+        for spec in algorithms:
+            if not spec.supports(constraint):
+                if skip_unsupported:
+                    continue
+                raise InvalidParameterError(
+                    f"{spec.name} does not support m={constraint.num_groups} groups"
+                )
+            records.append(run_algorithm(spec, config))
+    return records

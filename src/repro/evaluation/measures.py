@@ -1,0 +1,56 @@
+"""Quality measures used by the evaluation.
+
+The paper measures solution quality by the diversity value ``div(S)`` and
+compares it against ``2 * div(GMM)``, an upper bound on the (unknown) fair
+optimum OPT_f that follows from GMM being a 1/2-approximation of the
+unconstrained optimum OPT >= OPT_f.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.gmm import gmm_elements
+from repro.core.solution import diversity_of
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.base import Metric
+from repro.streaming.element import Element
+
+
+def diversity(elements: Sequence[Element], metric: Metric) -> float:
+    """``div(S)`` — re-exported for convenience in experiment scripts."""
+    return diversity_of(elements, metric)
+
+
+def fairness_violation(elements: Sequence[Element], constraint: FairnessConstraint) -> int:
+    """Total absolute quota violation of a solution (0 means perfectly fair)."""
+    return constraint.violation(elements)
+
+
+def optimum_upper_bound(elements: Sequence[Element], metric: Metric, k: int) -> float:
+    """``2 * div(GMM_k)`` — an upper bound on OPT (and hence on OPT_f).
+
+    GMM is a 1/2-approximation for unconstrained max-min diversity
+    maximization, so ``OPT <= 2 * div(GMM)``; since every fair solution is
+    also a feasible unconstrained solution, ``OPT_f <= OPT``.
+    """
+    selected = gmm_elements(elements, metric, k)
+    return 2.0 * diversity_of(selected, metric)
+
+
+def approximation_ratio_lower_bound(
+    achieved_diversity: float,
+    elements: Sequence[Element],
+    metric: Metric,
+    k: int,
+) -> float:
+    """A certified lower bound on the achieved approximation ratio.
+
+    ``achieved / (2 * div(GMM))`` underestimates ``achieved / OPT_f`` — the
+    paper uses it to argue the algorithms perform far better than their
+    worst-case guarantees.
+    """
+    upper = optimum_upper_bound(elements, metric, k)
+    if upper == 0:
+        return 1.0
+    return achieved_diversity / upper

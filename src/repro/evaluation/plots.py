@@ -1,0 +1,93 @@
+"""Plot-free chart rendering for experiment series (ASCII bars and sparklines).
+
+The benchmark harness prints tables; for quick visual comparison in a
+terminal (and in CI logs) it is convenient to also render bar charts of
+per-algorithm values and sparklines of series such as "diversity vs k"
+without any plotting dependency.  These helpers are intentionally tiny and
+deterministic so they can be unit-tested exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.utils.errors import InvalidParameterError
+
+#: Eight-level block characters used for sparklines, lowest to highest.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a fixed-height unicode sparkline.
+
+    Values are scaled to the series' own min/max; a constant series renders
+    as a flat mid-level line.  Empty input raises.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise InvalidParameterError("sparkline requires at least one value")
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARK_LEVELS[3] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    value_format: str = ".3f",
+    sort: bool = True,
+) -> str:
+    """Render a label → value mapping as a horizontal ASCII bar chart.
+
+    Bars are scaled to the largest value; negative values are clamped to
+    zero-length bars (the numeric value is still printed).
+    """
+    if not values:
+        raise InvalidParameterError("bar_chart requires at least one entry")
+    if width < 1:
+        raise InvalidParameterError("width must be at least 1")
+    items: List = list(values.items())
+    if sort:
+        items.sort(key=lambda pair: -pair[1])
+    largest = max(max(value for _, value in items), 0.0)
+    label_width = max(len(str(label)) for label, _ in items)
+    lines = []
+    for label, value in items:
+        if largest > 0 and value > 0:
+            bar = "#" * max(1, int(round(value / largest * width)))
+        else:
+            bar = ""
+        lines.append(f"{str(label).ljust(label_width)} | {bar.ljust(width)} {format(value, value_format)}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Optional[Sequence[object]] = None,
+    value_format: str = ".3f",
+) -> str:
+    """Render several aligned series (e.g. diversity vs k per algorithm).
+
+    Each row shows the series name, its sparkline, and its first/last value,
+    which is usually all a reader needs to judge a trend in a log file.
+    """
+    if not series:
+        raise InvalidParameterError("series_chart requires at least one series")
+    name_width = max(len(str(name)) for name in series)
+    lines = []
+    if x_labels is not None:
+        lines.append(f"{'':{name_width}}   x = {list(x_labels)}")
+    for name, values in series.items():
+        values = list(values)
+        if not values:
+            continue
+        first = format(values[0], value_format)
+        last = format(values[-1], value_format)
+        lines.append(f"{str(name).ljust(name_width)}   {sparkline(values)}   {first} → {last}")
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Formatting experiment records as aligned-text tables and CSV files.
+
+The benchmark scripts print the same rows the paper's tables and figures
+report, so a reader can diff the shape of the reproduction against the
+original numbers without any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.evaluation.harness import ExperimentRecord
+
+
+def records_to_rows(
+    records: Sequence[ExperimentRecord],
+    columns: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Convert experiment records to plain dictionaries, optionally projected.
+
+    Parameters
+    ----------
+    records:
+        The records to convert.
+    columns:
+        If given, only these keys are kept (in this order).
+    """
+    rows = [record.as_dict() for record in records]
+    if columns is None:
+        return rows
+    return [{column: row.get(column, "") for column in columns} for row in rows]
+
+
+def _format_value(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = ".4f",
+    title: Optional[str] = None,
+) -> str:
+    """Render dictionaries as an aligned monospaced table.
+
+    Parameters
+    ----------
+    rows:
+        The rows; all dictionaries should share the same keys.
+    columns:
+        Column order; defaults to the keys of the first row.
+    float_format:
+        ``format()`` specifier applied to float values.
+    title:
+        Optional title line printed above the table.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [
+        [_format_value(row.get(column, ""), float_format) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered_row[i]) for rendered_row in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "-+-".join("-" * widths[i] for i in range(len(columns)))
+    lines.append(header)
+    lines.append(separator)
+    for rendered_row in rendered:
+        lines.append(" | ".join(rendered_row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def write_csv(
+    rows: Sequence[Dict[str, object]],
+    path: Union[str, Path],
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write rows to a CSV file and return the path.
+
+    Parameters
+    ----------
+    rows:
+        The rows to write; all dictionaries should share the same keys.
+    path:
+        Target file path (parent directories are created).
+    columns:
+        Column order; defaults to the keys of the first row.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    if columns is None:
+        columns = list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,17 @@
+"""Fairness constraints: group quotas and the ER / PR quota rules."""
+
+from repro.fairness.constraints import (
+    FairnessConstraint,
+    equal_representation,
+    proportional_representation,
+    audit_fairness,
+    FairnessAudit,
+)
+
+__all__ = [
+    "FairnessConstraint",
+    "equal_representation",
+    "proportional_representation",
+    "audit_fairness",
+    "FairnessAudit",
+]

@@ -1,0 +1,234 @@
+"""Group-fairness constraints for diversity maximization.
+
+A fairness constraint assigns a quota ``k_i`` to each of ``m`` disjoint
+groups; a solution is *fair* if it contains exactly ``k_i`` elements from
+group ``i`` (so its total size is ``k = sum_i k_i``).  The two standard ways
+of choosing the quotas used in the paper's experiments are implemented as
+factory functions:
+
+* :func:`equal_representation` — split ``k`` as evenly as possible;
+* :func:`proportional_representation` — quotas proportional to group sizes
+  in the full dataset (largest-remainder rounding), with every group kept at
+  a minimum of one element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.streaming.element import Element
+from repro.utils.errors import InfeasibleConstraintError, InvalidParameterError
+from repro.utils.validation import require_positive_int
+
+
+class FairnessConstraint:
+    """Per-group quotas ``{group: k_i}`` with ``k = sum_i k_i``.
+
+    The constraint is the partition-matroid description of fairness used
+    throughout the paper: a set is an independent set if it has at most
+    ``k_i`` elements from group ``i``, and it is *fair* (a basis) when every
+    quota is met with equality.
+    """
+
+    def __init__(self, quotas: Mapping[int, int]) -> None:
+        if not quotas:
+            raise InvalidParameterError("quotas must contain at least one group")
+        cleaned: Dict[int, int] = {}
+        for group, quota in quotas.items():
+            group = int(group)
+            quota = require_positive_int(quota, f"quota for group {group}")
+            cleaned[group] = quota
+        self._quotas: Dict[int, int] = dict(sorted(cleaned.items()))
+
+    @property
+    def quotas(self) -> Dict[int, int]:
+        """A copy of the group-to-quota mapping (sorted by group label)."""
+        return dict(self._quotas)
+
+    @property
+    def groups(self) -> List[int]:
+        """Sorted group labels covered by the constraint."""
+        return list(self._quotas.keys())
+
+    @property
+    def num_groups(self) -> int:
+        """Number of groups ``m``."""
+        return len(self._quotas)
+
+    @property
+    def total_size(self) -> int:
+        """Total solution size ``k = sum_i k_i``."""
+        return sum(self._quotas.values())
+
+    def quota(self, group: int) -> int:
+        """Quota ``k_i`` for ``group``; raises ``KeyError`` for unknown groups."""
+        return self._quotas[int(group)]
+
+    def __contains__(self, group: int) -> bool:
+        return int(group) in self._quotas
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FairnessConstraint):
+            return NotImplemented
+        return self._quotas == other._quotas
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._quotas.items()))
+
+    def __repr__(self) -> str:
+        return f"FairnessConstraint({self._quotas!r})"
+
+    # ------------------------------------------------------------------
+    # Feasibility and auditing
+    # ------------------------------------------------------------------
+    def group_counts(self, elements: Iterable[Element]) -> Dict[int, int]:
+        """Count the elements of ``elements`` that fall in each quota group."""
+        counts = {group: 0 for group in self._quotas}
+        for element in elements:
+            if element.group in counts:
+                counts[element.group] += 1
+        return counts
+
+    def is_independent(self, elements: Iterable[Element]) -> bool:
+        """True iff no group exceeds its quota and no foreign group appears."""
+        counts: Dict[int, int] = {}
+        for element in elements:
+            if element.group not in self._quotas:
+                return False
+            counts[element.group] = counts.get(element.group, 0) + 1
+            if counts[element.group] > self._quotas[element.group]:
+                return False
+        return True
+
+    def is_fair(self, elements: Iterable[Element]) -> bool:
+        """True iff every group quota is met with equality."""
+        counts = {group: 0 for group in self._quotas}
+        for element in elements:
+            if element.group not in counts:
+                return False
+            counts[element.group] += 1
+        return counts == self._quotas
+
+    def validate_feasible(self, group_sizes: Mapping[int, int]) -> None:
+        """Raise :class:`InfeasibleConstraintError` if a quota cannot be met.
+
+        ``group_sizes`` maps group labels to the number of elements of that
+        group available in the dataset/stream.
+        """
+        for group, quota in self._quotas.items():
+            available = int(group_sizes.get(group, 0))
+            if available < quota:
+                raise InfeasibleConstraintError(
+                    f"group {group} has only {available} elements but the quota is {quota}"
+                )
+
+    def violation(self, elements: Iterable[Element]) -> int:
+        """Total absolute deviation from the quotas, ``sum_i |count_i - k_i|``.
+
+        Elements from groups outside the constraint count fully towards the
+        violation.
+        """
+        counts: Dict[int, int] = {}
+        foreign = 0
+        for element in elements:
+            if element.group in self._quotas:
+                counts[element.group] = counts.get(element.group, 0) + 1
+            else:
+                foreign += 1
+        deviation = sum(
+            abs(counts.get(group, 0) - quota) for group, quota in self._quotas.items()
+        )
+        return deviation + foreign
+
+
+@dataclass
+class FairnessAudit:
+    """Result of checking a concrete solution against a constraint."""
+
+    is_fair: bool
+    counts: Dict[int, int]
+    quotas: Dict[int, int]
+    violation: int
+
+    def __bool__(self) -> bool:
+        return self.is_fair
+
+
+def audit_fairness(elements: Sequence[Element], constraint: FairnessConstraint) -> FairnessAudit:
+    """Produce a :class:`FairnessAudit` for ``elements`` under ``constraint``."""
+    counts = constraint.group_counts(elements)
+    return FairnessAudit(
+        is_fair=constraint.is_fair(elements),
+        counts=counts,
+        quotas=constraint.quotas,
+        violation=constraint.violation(elements),
+    )
+
+
+def equal_representation(k: int, groups: Sequence[int]) -> FairnessConstraint:
+    """Quotas that split ``k`` as evenly as possible across ``groups``.
+
+    If ``k`` is not divisible by ``m``, the first ``k mod m`` groups (in
+    sorted label order) receive one extra element — the same convention as
+    the paper.  Requires ``k >= m`` so every group gets at least one slot.
+    """
+    k = require_positive_int(k, "k")
+    group_list = sorted({int(g) for g in groups})
+    if not group_list:
+        raise InvalidParameterError("groups must contain at least one label")
+    m = len(group_list)
+    if k < m:
+        raise InvalidParameterError(
+            f"k={k} is smaller than the number of groups m={m}; every group needs at least one slot"
+        )
+    base, remainder = divmod(k, m)
+    quotas = {
+        group: base + (1 if index < remainder else 0) for index, group in enumerate(group_list)
+    }
+    return FairnessConstraint(quotas)
+
+
+def proportional_representation(
+    k: int,
+    group_sizes: Mapping[int, int],
+    minimum_per_group: int = 1,
+) -> FairnessConstraint:
+    """Quotas proportional to the group sizes (largest-remainder method).
+
+    Every group receives at least ``minimum_per_group`` elements (default 1,
+    matching the paper's requirement that an algorithm picks at least one
+    element per group), and the remaining slots are apportioned by the
+    largest-remainder (Hamilton) method on the group proportions.
+    """
+    k = require_positive_int(k, "k")
+    if not group_sizes:
+        raise InvalidParameterError("group_sizes must contain at least one group")
+    sizes = {int(g): int(s) for g, s in group_sizes.items()}
+    if any(size <= 0 for size in sizes.values()):
+        raise InvalidParameterError("all group sizes must be positive")
+    m = len(sizes)
+    minimum_per_group = int(minimum_per_group)
+    if minimum_per_group < 0:
+        raise InvalidParameterError("minimum_per_group must be non-negative")
+    if k < m * minimum_per_group:
+        raise InvalidParameterError(
+            f"k={k} is too small to give {minimum_per_group} element(s) to each of {m} groups"
+        )
+    total = sum(sizes.values())
+    spare = k - m * minimum_per_group
+    ideal = {group: spare * size / total for group, size in sizes.items()}
+    quotas = {group: minimum_per_group + int(ideal[group]) for group in sizes}
+    remainders = {group: ideal[group] - int(ideal[group]) for group in sizes}
+    leftover = k - sum(quotas.values())
+    # Assign leftover slots to the groups with the largest fractional parts,
+    # breaking ties by larger group then smaller label for determinism.
+    order = sorted(sizes, key=lambda g: (-remainders[g], -sizes[g], g))
+    for group in order[:leftover]:
+        quotas[group] += 1
+    return FairnessConstraint(quotas)
+
+
+def constraint_from_counts(counts: Mapping[int, int]) -> FairnessConstraint:
+    """Build a constraint whose quotas equal the provided per-group counts."""
+    return FairnessConstraint(dict(counts))

@@ -1,0 +1,7 @@
+"""Maximum-flow substrate used by the FairFlow baseline."""
+
+from repro.flow.network import FlowNetwork
+from repro.flow.dinic import max_flow
+from repro.flow.assignment import solve_cluster_assignment
+
+__all__ = ["FlowNetwork", "max_flow", "solve_cluster_assignment"]

@@ -1,0 +1,70 @@
+"""Cluster-to-group assignment via max-flow, as used by the FairFlow baseline.
+
+FairFlow (Moumoulidou et al., ICDT 2021) reduces "pick ``k_i`` elements from
+each group such that no two picked elements share a cluster" to a maximum
+flow problem on a three-layer network::
+
+    source --(k_i)--> group i --(1)--> cluster C --(1)--> sink
+
+where an edge from group ``i`` to cluster ``C`` exists when ``C`` contains
+at least one element of group ``i``.  An integral maximum flow saturating
+the source edges corresponds to a system of distinct cluster
+representatives for all quotas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Set, Tuple
+
+from repro.flow.dinic import max_flow
+from repro.flow.network import FlowNetwork
+
+
+def solve_cluster_assignment(
+    quotas: Mapping[int, int],
+    cluster_groups: Sequence[Set[int]],
+) -> Tuple[int, Dict[int, List[int]]]:
+    """Assign clusters to groups respecting quotas, one cluster used at most once.
+
+    Parameters
+    ----------
+    quotas:
+        Mapping from group label to the number of clusters it needs.
+    cluster_groups:
+        ``cluster_groups[j]`` is the set of group labels present in cluster
+        ``j``; the cluster can represent any one of those groups.
+
+    Returns
+    -------
+    (value, assignment):
+        ``value`` is the number of (group, cluster) pairs matched — it
+        equals ``sum(quotas.values())`` exactly when a full fair assignment
+        exists.  ``assignment`` maps each group to the list of cluster
+        indices allotted to it.
+    """
+    source: Hashable = ("source",)
+    sink: Hashable = ("sink",)
+    network = FlowNetwork()
+    network.add_node(source)
+    network.add_node(sink)
+    for group, quota in quotas.items():
+        if quota > 0:
+            network.add_edge(source, ("group", group), quota)
+    for index, groups_in_cluster in enumerate(cluster_groups):
+        relevant = [group for group in groups_in_cluster if quotas.get(group, 0) > 0]
+        if not relevant:
+            continue
+        network.add_edge(("cluster", index), sink, 1)
+        for group in relevant:
+            network.add_edge(("group", group), ("cluster", index), 1)
+    value = max_flow(network, source, sink)
+    assignment: Dict[int, List[int]] = {group: [] for group in quotas}
+    for edge in network.saturated_edges():
+        if (
+            isinstance(edge.source, tuple)
+            and isinstance(edge.target, tuple)
+            and edge.source[0] == "group"
+            and edge.target[0] == "cluster"
+        ):
+            assignment[edge.source[1]].append(edge.target[1])
+    return value, assignment

@@ -1,0 +1,88 @@
+"""Dinic's maximum-flow algorithm over :class:`repro.flow.network.FlowNetwork`.
+
+Dinic's algorithm repeatedly builds a BFS level graph from the source and
+then sends blocking flows along level-respecting paths with DFS.  For the
+unit-capacity bipartite networks produced by the FairFlow baseline the
+running time is ``O(E * sqrt(V))``, far more than fast enough for the sizes
+appearing in the experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable
+
+from repro.flow.network import FlowNetwork
+from repro.utils.errors import InvalidParameterError
+
+
+def _bfs_levels(network: FlowNetwork, source: Hashable, sink: Hashable) -> Dict[Hashable, int]:
+    """Distance (in residual edges) of every reachable node from ``source``."""
+    levels: Dict[Hashable, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for edge in network.edges_from(node):
+            if edge.residual > 0 and edge.target not in levels:
+                levels[edge.target] = levels[node] + 1
+                if edge.target == sink:
+                    # Continue the BFS anyway so levels stay consistent,
+                    # but there is no need to expand past the sink.
+                    continue
+                queue.append(edge.target)
+    return levels
+
+
+def _blocking_flow(
+    network: FlowNetwork,
+    node: Hashable,
+    sink: Hashable,
+    limit: int,
+    levels: Dict[Hashable, int],
+    iterators: Dict[Hashable, int],
+) -> int:
+    """Send up to ``limit`` units from ``node`` to ``sink`` along level edges."""
+    if node == sink:
+        return limit
+    total = 0
+    edges = network.edges_from(node)
+    while iterators[node] < len(edges):
+        edge = edges[iterators[node]]
+        target_level = levels.get(edge.target)
+        if edge.residual > 0 and target_level == levels[node] + 1:
+            pushed = _blocking_flow(
+                network, edge.target, sink, min(limit - total, edge.residual), levels, iterators
+            )
+            if pushed > 0:
+                network.push(edge, pushed)
+                total += pushed
+                if total == limit:
+                    return total
+                continue
+        iterators[node] += 1
+    return total
+
+
+def max_flow(network: FlowNetwork, source: Hashable, sink: Hashable) -> int:
+    """Compute the maximum ``source``-to-``sink`` flow value in ``network``.
+
+    The network is modified in place: after the call the edge ``flow``
+    fields describe a maximum flow, which callers (e.g. FairFlow) read back
+    via :meth:`FlowNetwork.saturated_edges`.
+    """
+    if source == sink:
+        raise InvalidParameterError("source and sink must differ")
+    if source not in network.nodes or sink not in network.nodes:
+        raise InvalidParameterError("source and sink must both be nodes of the network")
+    total = 0
+    infinite = sum(edge.capacity for edge in network.edges_from(source)) + 1
+    while True:
+        levels = _bfs_levels(network, source, sink)
+        if sink not in levels:
+            return total
+        iterators = {node: 0 for node in network.nodes}
+        while True:
+            pushed = _blocking_flow(network, source, sink, infinite, levels, iterators)
+            if pushed == 0:
+                break
+            total += pushed

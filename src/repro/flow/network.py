@@ -1,0 +1,111 @@
+"""A directed flow network with integer capacities.
+
+Implemented from scratch (no networkx dependency in library code) as an
+adjacency-list residual graph: each directed edge stores its capacity, its
+current flow, and a pointer to its reverse edge, the standard representation
+used by augmenting-path max-flow algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List
+
+from repro.utils.errors import InvalidParameterError
+
+
+@dataclass
+class Edge:
+    """One directed edge of the residual graph."""
+
+    source: Hashable
+    target: Hashable
+    capacity: int
+    flow: int = 0
+    #: Index of the reverse edge within the adjacency list of ``target``.
+    reverse_index: int = field(default=-1, repr=False)
+
+    @property
+    def residual(self) -> int:
+        """Remaining capacity on this edge."""
+        return self.capacity - self.flow
+
+
+class FlowNetwork:
+    """A directed graph with integer edge capacities supporting residual updates."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[Hashable, List[Edge]] = {}
+
+    def add_node(self, node: Hashable) -> None:
+        """Register ``node`` (no-op if already present)."""
+        self._adjacency.setdefault(node, [])
+
+    def add_edge(self, source: Hashable, target: Hashable, capacity: int) -> None:
+        """Add a directed edge with the given non-negative integer capacity.
+
+        A reverse edge of capacity zero is added automatically so the
+        residual graph is always well formed.
+        """
+        if capacity < 0:
+            raise InvalidParameterError(f"capacity must be non-negative, got {capacity}")
+        if source == target:
+            raise InvalidParameterError("self-loops are not allowed in a flow network")
+        self.add_node(source)
+        self.add_node(target)
+        forward = Edge(source=source, target=target, capacity=int(capacity))
+        backward = Edge(source=target, target=source, capacity=0)
+        forward.reverse_index = len(self._adjacency[target])
+        backward.reverse_index = len(self._adjacency[source])
+        self._adjacency[source].append(forward)
+        self._adjacency[target].append(backward)
+
+    @property
+    def nodes(self) -> List[Hashable]:
+        """All registered nodes."""
+        return list(self._adjacency.keys())
+
+    def edges_from(self, node: Hashable) -> List[Edge]:
+        """Adjacency list of ``node`` (the live edge objects, not copies)."""
+        return self._adjacency.get(node, [])
+
+    def reverse_edge(self, edge: Edge) -> Edge:
+        """The reverse residual edge paired with ``edge``."""
+        return self._adjacency[edge.target][edge.reverse_index]
+
+    def push(self, edge: Edge, amount: int) -> None:
+        """Push ``amount`` units of flow along ``edge`` (updates the reverse edge)."""
+        if amount < 0 or amount > edge.residual:
+            raise InvalidParameterError(
+                f"cannot push {amount} units along an edge with residual {edge.residual}"
+            )
+        edge.flow += amount
+        self.reverse_edge(edge).flow -= amount
+
+    def flow_out_of(self, node: Hashable) -> int:
+        """Net flow leaving ``node`` (positive-capacity edges only)."""
+        return sum(edge.flow for edge in self._adjacency.get(node, []) if edge.capacity > 0)
+
+    def flow_into(self, node: Hashable) -> int:
+        """Net flow entering ``node`` (positive-capacity edges only)."""
+        total = 0
+        for edges in self._adjacency.values():
+            for edge in edges:
+                if edge.capacity > 0 and edge.target == node:
+                    total += edge.flow
+        return total
+
+    def saturated_edges(self) -> List[Edge]:
+        """All original (positive-capacity) edges currently carrying flow."""
+        result = []
+        for edges in self._adjacency.values():
+            for edge in edges:
+                if edge.capacity > 0 and edge.flow > 0:
+                    result.append(edge)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        num_edges = sum(
+            1 for edges in self._adjacency.values() for edge in edges if edge.capacity > 0
+        )
+        return f"FlowNetwork(nodes={len(self._adjacency)}, edges={num_edges})"

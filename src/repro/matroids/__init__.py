@@ -1,0 +1,29 @@
+"""Matroid abstractions and the matroid-intersection machinery.
+
+The fairness constraint is a partition matroid; SFDM2's post-processing
+intersects it with a second partition matroid defined over distance-based
+clusters.  This subpackage provides both matroids and Cunningham's
+augmenting-path algorithm for maximum-cardinality matroid intersection
+(Algorithm 4 in the paper).
+"""
+
+from repro.matroids.base import Matroid
+from repro.matroids.uniform import UniformMatroid
+from repro.matroids.partition import PartitionMatroid, matroid_from_constraint
+from repro.matroids.cluster import ClusterMatroid
+from repro.matroids.intersection import (
+    AugmentationGraph,
+    matroid_intersection,
+    greedy_common_independent,
+)
+
+__all__ = [
+    "Matroid",
+    "UniformMatroid",
+    "PartitionMatroid",
+    "matroid_from_constraint",
+    "ClusterMatroid",
+    "AugmentationGraph",
+    "matroid_intersection",
+    "greedy_common_independent",
+]

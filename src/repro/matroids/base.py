@@ -1,0 +1,99 @@
+"""Abstract matroid interface.
+
+A matroid ``M = (V, I)`` is described here by its *independence oracle*:
+:meth:`Matroid.is_independent` answers whether a given subset of the ground
+set belongs to ``I``.  All higher-level routines (rank computation, basis
+extension, matroid intersection) are built on top of that single oracle, so
+a new matroid type only needs to implement independence.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Hashable, Iterable, List, Set
+
+
+class Matroid(ABC):
+    """A matroid over a finite ground set of hashable items."""
+
+    def __init__(self, ground_set: Iterable[Hashable]) -> None:
+        self._ground_set: FrozenSet[Hashable] = frozenset(ground_set)
+
+    @property
+    def ground_set(self) -> FrozenSet[Hashable]:
+        """The ground set ``V``."""
+        return self._ground_set
+
+    @abstractmethod
+    def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        """Whether ``subset`` (a subset of the ground set) is independent."""
+
+    # ------------------------------------------------------------------
+    # Derived operations (valid for any matroid given a correct oracle)
+    # ------------------------------------------------------------------
+    def can_add(self, subset: Set[Hashable], item: Hashable) -> bool:
+        """Whether ``subset + {item}`` is independent (``item`` not in ``subset``)."""
+        if item in subset:
+            return False
+        return self.is_independent(set(subset) | {item})
+
+    def rank(self, subset: Iterable[Hashable]) -> int:
+        """The rank of ``subset``: size of a largest independent subset of it.
+
+        Computed greedily, which is correct for matroids by the exchange
+        property.
+        """
+        independent: Set[Hashable] = set()
+        for item in subset:
+            if self.can_add(independent, item):
+                independent.add(item)
+        return len(independent)
+
+    def max_independent_subset(self, subset: Iterable[Hashable]) -> Set[Hashable]:
+        """A maximal independent subset of ``subset`` built greedily."""
+        independent: Set[Hashable] = set()
+        for item in subset:
+            if self.can_add(independent, item):
+                independent.add(item)
+        return independent
+
+    def extend_to_basis(self, independent: Set[Hashable]) -> Set[Hashable]:
+        """Extend an independent set to a basis (maximal independent set)."""
+        result = set(independent)
+        for item in self._ground_set:
+            if item not in result and self.can_add(result, item):
+                result.add(item)
+        return result
+
+    def full_rank(self) -> int:
+        """The rank of the whole matroid (size of any basis)."""
+        return self.rank(self._ground_set)
+
+    def restricted(self, items: Iterable[Hashable]) -> "RestrictedMatroid":
+        """The restriction of this matroid to ``items``."""
+        return RestrictedMatroid(self, items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(|V|={len(self._ground_set)})"
+
+
+class RestrictedMatroid(Matroid):
+    """The restriction ``M | T`` of a matroid ``M`` to a subset ``T`` of its ground set.
+
+    Independence in the restriction is independence in the original matroid;
+    only the ground set shrinks.
+    """
+
+    def __init__(self, parent: Matroid, items: Iterable[Hashable]) -> None:
+        items = frozenset(items)
+        missing: List[Hashable] = [item for item in items if item not in parent.ground_set]
+        if missing:
+            raise ValueError(f"items not in the parent ground set: {missing[:5]!r}")
+        super().__init__(items)
+        self._parent = parent
+
+    def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        subset = set(subset)
+        if not subset <= self.ground_set:
+            return False
+        return self._parent.is_independent(subset)

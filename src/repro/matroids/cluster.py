@@ -1,0 +1,66 @@
+"""The cluster matroid ``M_2`` used by SFDM2's post-processing.
+
+SFDM2 groups the stored elements into clusters such that elements in
+*different* clusters are far apart (at least ``mu / (m + 1)``); restricting
+a solution to at most one element per cluster therefore lower-bounds its
+diversity.  "At most one element from each cluster" is exactly a partition
+matroid whose blocks are the clusters; this module provides a small wrapper
+that also remembers the cluster structure for inspection and testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence
+
+from repro.matroids.partition import PartitionMatroid
+from repro.utils.errors import InvalidParameterError
+
+
+class ClusterMatroid(PartitionMatroid):
+    """Partition matroid with capacity one per cluster.
+
+    Parameters
+    ----------
+    clusters:
+        A partition of the ground set: a sequence of disjoint, non-empty
+        collections of items.  Every item must belong to exactly one
+        cluster.
+    """
+
+    def __init__(self, clusters: Sequence[Iterable[Hashable]]) -> None:
+        cluster_lists: List[List[Hashable]] = [list(cluster) for cluster in clusters]
+        if any(len(cluster) == 0 for cluster in cluster_lists):
+            raise InvalidParameterError("clusters must be non-empty")
+        membership: Dict[Hashable, int] = {}
+        for index, cluster in enumerate(cluster_lists):
+            for item in cluster:
+                if item in membership:
+                    raise InvalidParameterError(
+                        f"item {item!r} appears in more than one cluster"
+                    )
+                membership[item] = index
+        super().__init__(
+            ground_set=membership.keys(),
+            block_of=membership.__getitem__,
+            capacities={index: 1 for index in range(len(cluster_lists))},
+            default_capacity=0,
+        )
+        self._clusters = cluster_lists
+        self._membership = membership
+
+    @property
+    def clusters(self) -> List[List[Hashable]]:
+        """The clusters as provided (copies of the lists)."""
+        return [list(cluster) for cluster in self._clusters]
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters ``l`` (the rank of the matroid)."""
+        return len(self._clusters)
+
+    def cluster_of(self, item: Hashable) -> int:
+        """Index of the cluster containing ``item``."""
+        return self._membership[item]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClusterMatroid(|V|={len(self.ground_set)}, clusters={self.num_clusters})"

@@ -1,0 +1,97 @@
+"""Partition matroids, including the fairness matroid over element groups."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Mapping
+
+from repro.matroids.base import Matroid
+from repro.fairness.constraints import FairnessConstraint
+from repro.streaming.element import Element
+from repro.utils.errors import InvalidParameterError
+
+
+class PartitionMatroid(Matroid):
+    """A partition matroid: at most ``capacity[b]`` items from each block ``b``.
+
+    Parameters
+    ----------
+    ground_set:
+        The items.
+    block_of:
+        Function mapping an item to its block label.  Items mapping to a
+        block without an entry in ``capacities`` get capacity 0 (they can
+        never be added) unless ``default_capacity`` overrides that.
+    capacities:
+        Mapping from block label to the maximum number of items allowed.
+    default_capacity:
+        Capacity used for blocks missing from ``capacities``.
+    """
+
+    def __init__(
+        self,
+        ground_set: Iterable[Hashable],
+        block_of: Callable[[Hashable], Hashable],
+        capacities: Mapping[Hashable, int],
+        default_capacity: int = 0,
+    ) -> None:
+        super().__init__(ground_set)
+        if default_capacity < 0:
+            raise InvalidParameterError("default_capacity must be non-negative")
+        for block, capacity in capacities.items():
+            if capacity < 0:
+                raise InvalidParameterError(f"capacity for block {block!r} must be non-negative")
+        self._block_of = block_of
+        self._capacities: Dict[Hashable, int] = dict(capacities)
+        self._default_capacity = int(default_capacity)
+
+    def capacity(self, block: Hashable) -> int:
+        """Capacity of ``block`` (the default for unknown blocks)."""
+        return self._capacities.get(block, self._default_capacity)
+
+    def block(self, item: Hashable) -> Hashable:
+        """Block label of ``item``."""
+        return self._block_of(item)
+
+    def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        subset = set(subset)
+        if not subset <= self.ground_set:
+            return False
+        counts: Dict[Hashable, int] = {}
+        for item in subset:
+            block = self._block_of(item)
+            counts[block] = counts.get(block, 0) + 1
+            if counts[block] > self.capacity(block):
+                return False
+        return True
+
+    def block_counts(self, subset: Iterable[Hashable]) -> Dict[Hashable, int]:
+        """Number of items of ``subset`` in each block (only blocks present)."""
+        counts: Dict[Hashable, int] = {}
+        for item in subset:
+            block = self._block_of(item)
+            counts[block] = counts.get(block, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionMatroid(|V|={len(self.ground_set)}, "
+            f"blocks={len(self._capacities)}, default={self._default_capacity})"
+        )
+
+
+def matroid_from_constraint(
+    elements: Iterable[Element], constraint: FairnessConstraint
+) -> PartitionMatroid:
+    """The fairness matroid ``M_1`` of the paper over concrete elements.
+
+    The ground set is the given elements, blocks are their sensitive groups,
+    and block capacities are the constraint's quotas.  Elements whose group
+    is not covered by the constraint receive capacity zero, so they can
+    never enter an independent set.
+    """
+    return PartitionMatroid(
+        ground_set=elements,
+        block_of=lambda element: element.group,
+        capacities=constraint.quotas,
+        default_capacity=0,
+    )

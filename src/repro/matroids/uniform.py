@@ -1,0 +1,30 @@
+"""The uniform matroid ``U_{k,n}``: sets of size at most ``k`` are independent."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.matroids.base import Matroid
+from repro.utils.validation import require_non_negative_int
+
+
+class UniformMatroid(Matroid):
+    """A uniform matroid of rank ``k`` over an arbitrary ground set.
+
+    The unconstrained diversity maximization problem's cardinality
+    constraint ``|S| = k`` is the basis condition of this matroid; it is
+    also handy in tests as the simplest possible matroid.
+    """
+
+    def __init__(self, ground_set: Iterable[Hashable], k: int) -> None:
+        super().__init__(ground_set)
+        self.k = require_non_negative_int(k, "k")
+
+    def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        subset = set(subset)
+        if not subset <= self.ground_set:
+            return False
+        return len(subset) <= self.k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformMatroid(|V|={len(self.ground_set)}, k={self.k})"

@@ -1,0 +1,53 @@
+"""Distance metrics and metric-space utilities.
+
+Every algorithm in the library touches the data only through a
+:class:`~repro.metrics.base.Metric`, so swapping the distance function (as
+the paper does across its four datasets) never requires touching algorithm
+code.
+"""
+
+from repro.metrics.base import Metric, CallableMetric
+from repro.metrics.vector import (
+    EuclideanMetric,
+    ManhattanMetric,
+    ChebyshevMetric,
+    MinkowskiMetric,
+    AngularMetric,
+    CosineDistanceMetric,
+    HammingMetric,
+    euclidean,
+    manhattan,
+    chebyshev,
+    minkowski,
+    angular,
+    cosine,
+    hamming,
+)
+from repro.metrics.cached import CachedMetric, CountingMetric
+from repro.metrics.matrix import PrecomputedMetric
+from repro.metrics.space import MetricSpace, pairwise_distances, estimate_distance_bounds
+
+__all__ = [
+    "Metric",
+    "CallableMetric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "MinkowskiMetric",
+    "AngularMetric",
+    "CosineDistanceMetric",
+    "HammingMetric",
+    "euclidean",
+    "manhattan",
+    "chebyshev",
+    "minkowski",
+    "angular",
+    "cosine",
+    "hamming",
+    "CachedMetric",
+    "CountingMetric",
+    "PrecomputedMetric",
+    "MetricSpace",
+    "pairwise_distances",
+    "estimate_distance_bounds",
+]

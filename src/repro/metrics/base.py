@@ -1,0 +1,59 @@
+"""Abstract metric interface.
+
+A *metric* in this library is any object with a ``distance(x, y) -> float``
+method where ``x`` and ``y`` are the ``vector`` payloads carried by
+:class:`repro.streaming.element.Element` (usually one-dimensional numpy
+arrays, but a metric implementation may accept any hashable / array-like
+payload it understands).
+
+The mathematical requirements — non-negativity, symmetry, identity of
+indiscernibles, and the triangle inequality — are not enforced at runtime
+for performance reasons; they are verified by the property-based test suite
+for every concrete metric shipped with the library.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+
+class Metric(ABC):
+    """Base class for distance functions between element payloads."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "metric"
+
+    @abstractmethod
+    def distance(self, x: Any, y: Any) -> float:
+        """Return the distance between two payloads as a ``float``."""
+
+    def __call__(self, x: Any, y: Any) -> float:
+        """Alias for :meth:`distance` so metrics can be used as callables."""
+        return self.distance(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class CallableMetric(Metric):
+    """Adapter that wraps a plain ``f(x, y) -> float`` callable as a :class:`Metric`.
+
+    Example
+    -------
+    >>> metric = CallableMetric(lambda x, y: abs(x - y), name="absdiff")
+    >>> metric.distance(3, 5)
+    2
+    """
+
+    def __init__(self, func: Callable[[Any, Any], float], name: str = "callable") -> None:
+        if not callable(func):
+            raise TypeError("func must be callable")
+        self._func = func
+        self.name = name
+
+    def distance(self, x: Any, y: Any) -> float:
+        return self._func(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CallableMetric(name={self.name!r})"

@@ -1,0 +1,172 @@
+"""Concrete metrics over numeric feature vectors.
+
+These cover the three metrics used in the paper's experiments (Euclidean on
+Adult and the synthetic blobs, Manhattan on CelebA and Census, angular on
+Lyrics) plus a few extra standard metrics that are useful for downstream
+users (Chebyshev, general Minkowski, Hamming, cosine distance).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.metrics.base import Metric
+from repro.utils.errors import InvalidParameterError
+
+
+def _as_array(x: Any) -> np.ndarray:
+    """Coerce a payload to a 1-D float array without copying when possible."""
+    return np.asarray(x, dtype=float)
+
+
+class EuclideanMetric(Metric):
+    """The Euclidean (L2) distance ``sqrt(sum_i (x_i - y_i)^2)``."""
+
+    name = "euclidean"
+
+    def distance(self, x: Any, y: Any) -> float:
+        diff = _as_array(x) - _as_array(y)
+        return float(math.sqrt(float(np.dot(diff, diff))))
+
+
+class ManhattanMetric(Metric):
+    """The Manhattan (L1) distance ``sum_i |x_i - y_i|``."""
+
+    name = "manhattan"
+
+    def distance(self, x: Any, y: Any) -> float:
+        return float(np.abs(_as_array(x) - _as_array(y)).sum())
+
+
+class ChebyshevMetric(Metric):
+    """The Chebyshev (L-infinity) distance ``max_i |x_i - y_i|``."""
+
+    name = "chebyshev"
+
+    def distance(self, x: Any, y: Any) -> float:
+        return float(np.abs(_as_array(x) - _as_array(y)).max())
+
+
+class MinkowskiMetric(Metric):
+    """The Minkowski (Lp) distance for a caller-chosen order ``p >= 1``.
+
+    ``p = 1`` and ``p = 2`` reduce to the Manhattan and Euclidean metrics;
+    those dedicated classes are faster and should be preferred.
+    """
+
+    def __init__(self, p: float) -> None:
+        if not (p >= 1):
+            raise InvalidParameterError(f"Minkowski order p must be >= 1, got {p}")
+        self.p = float(p)
+        self.name = f"minkowski(p={self.p:g})"
+
+    def distance(self, x: Any, y: Any) -> float:
+        diff = np.abs(_as_array(x) - _as_array(y))
+        return float(np.power(np.power(diff, self.p).sum(), 1.0 / self.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MinkowskiMetric(p={self.p!r})"
+
+
+class AngularMetric(Metric):
+    """The angular distance ``arccos(cos_similarity(x, y))`` in radians.
+
+    This is the metric used for the Lyrics topic vectors in the paper; it is
+    a true metric (unlike raw cosine *similarity*), bounded by ``pi`` in
+    general and by ``pi / 2`` for non-negative vectors such as topic
+    distributions.
+    """
+
+    name = "angular"
+
+    def distance(self, x: Any, y: Any) -> float:
+        ax, ay = _as_array(x), _as_array(y)
+        norm_x = float(np.linalg.norm(ax))
+        norm_y = float(np.linalg.norm(ay))
+        if norm_x == 0.0 or norm_y == 0.0:
+            # The angle is undefined for the zero vector; by convention two
+            # zero vectors coincide and a zero vs. non-zero pair is maximally
+            # separated.  This keeps the identity of indiscernibles intact.
+            return 0.0 if norm_x == norm_y else math.pi / 2.0
+        cosine = float(np.dot(ax, ay)) / (norm_x * norm_y)
+        cosine = min(1.0, max(-1.0, cosine))
+        return float(math.acos(cosine))
+
+
+class CosineDistanceMetric(Metric):
+    """Cosine distance ``1 - cos_similarity(x, y)``.
+
+    Included for completeness; note that cosine distance violates the
+    triangle inequality in general, so the approximation guarantees of the
+    algorithms formally require :class:`AngularMetric` instead.  It is still
+    useful in practice and the algorithms run unchanged.
+    """
+
+    name = "cosine"
+
+    def distance(self, x: Any, y: Any) -> float:
+        ax, ay = _as_array(x), _as_array(y)
+        norm_x = float(np.linalg.norm(ax))
+        norm_y = float(np.linalg.norm(ay))
+        if norm_x == 0.0 or norm_y == 0.0:
+            return 0.0 if norm_x == norm_y else 1.0
+        cosine = float(np.dot(ax, ay)) / (norm_x * norm_y)
+        cosine = min(1.0, max(-1.0, cosine))
+        return float(1.0 - cosine)
+
+
+class HammingMetric(Metric):
+    """The Hamming distance: number of coordinates in which two vectors differ.
+
+    For binary attribute vectors (e.g. the CelebA labels) the Hamming and
+    Manhattan distances coincide; this class also works for categorical
+    (non-numeric) sequences.
+    """
+
+    name = "hamming"
+
+    def distance(self, x: Any, y: Any) -> float:
+        ax, ay = np.asarray(x), np.asarray(y)
+        if ax.shape != ay.shape:
+            raise InvalidParameterError(
+                f"Hamming distance requires equal-length vectors, got {ax.shape} and {ay.shape}"
+            )
+        return float(np.count_nonzero(ax != ay))
+
+
+def euclidean() -> EuclideanMetric:
+    """Factory for :class:`EuclideanMetric` (keeps call sites short)."""
+    return EuclideanMetric()
+
+
+def manhattan() -> ManhattanMetric:
+    """Factory for :class:`ManhattanMetric`."""
+    return ManhattanMetric()
+
+
+def chebyshev() -> ChebyshevMetric:
+    """Factory for :class:`ChebyshevMetric`."""
+    return ChebyshevMetric()
+
+
+def minkowski(p: float) -> MinkowskiMetric:
+    """Factory for :class:`MinkowskiMetric` of order ``p``."""
+    return MinkowskiMetric(p)
+
+
+def angular() -> AngularMetric:
+    """Factory for :class:`AngularMetric`."""
+    return AngularMetric()
+
+
+def cosine() -> CosineDistanceMetric:
+    """Factory for :class:`CosineDistanceMetric`."""
+    return CosineDistanceMetric()
+
+
+def hamming() -> HammingMetric:
+    """Factory for :class:`HammingMetric`."""
+    return HammingMetric()

@@ -1,0 +1,125 @@
+"""One-pass data streams over elements.
+
+A :class:`DataStream` is a restartable source of :class:`Element` objects.
+"Restartable" means the *experiment harness* can run several algorithms or
+repetitions over the same logical dataset; each individual algorithm still
+consumes the stream in a single pass and never indexes back into it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.streaming.element import Element
+from repro.utils.errors import EmptyStreamError, InvalidParameterError
+from repro.utils.rng import ensure_rng
+
+
+class DataStream:
+    """A finite, restartable stream of elements with optional shuffling.
+
+    Parameters
+    ----------
+    elements:
+        The underlying elements in their canonical order.
+    shuffle_seed:
+        If not ``None``, iteration yields a pseudo-random permutation of the
+        elements determined by this seed — the paper averages every
+        experiment over ten random permutations of each dataset.
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[Element],
+        shuffle_seed: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self._elements: List[Element] = list(elements)
+        if not self._elements:
+            raise EmptyStreamError("a DataStream requires at least one element")
+        self.shuffle_seed = shuffle_seed
+        self.name = name or "stream"
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        if self.shuffle_seed is None:
+            return iter(list(self._elements))
+        rng = ensure_rng(self.shuffle_seed)
+        order = rng.permutation(len(self._elements))
+        return iter([self._elements[int(i)] for i in order])
+
+    def elements(self) -> List[Element]:
+        """The elements in canonical (unshuffled) order, as a new list."""
+        return list(self._elements)
+
+    def permuted(self, seed: Optional[int]) -> "DataStream":
+        """A new view of the same elements with a different shuffle seed."""
+        return DataStream(self._elements, shuffle_seed=seed, name=self.name)
+
+    def take(self, count: int) -> "DataStream":
+        """A stream over the first ``count`` elements (canonical order)."""
+        if count <= 0:
+            raise InvalidParameterError(f"count must be positive, got {count}")
+        return DataStream(self._elements[:count], shuffle_seed=self.shuffle_seed, name=self.name)
+
+    def groups(self) -> List[int]:
+        """Sorted distinct group labels appearing in the stream."""
+        return sorted({element.group for element in self._elements})
+
+    def group_sizes(self) -> dict:
+        """Mapping from group label to number of elements in that group."""
+        sizes: dict = {}
+        for element in self._elements:
+            sizes[element.group] = sizes.get(element.group, 0) + 1
+        return sizes
+
+    def filter(self, predicate: Callable[[Element], bool]) -> "DataStream":
+        """A stream over the elements satisfying ``predicate``."""
+        kept = [element for element in self._elements if predicate(element)]
+        if not kept:
+            raise EmptyStreamError("filter removed every element from the stream")
+        return DataStream(kept, shuffle_seed=self.shuffle_seed, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DataStream(name={self.name!r}, n={len(self._elements)}, "
+            f"groups={len(self.groups())}, shuffle_seed={self.shuffle_seed!r})"
+        )
+
+
+def stream_from_arrays(
+    features: np.ndarray,
+    groups: Iterable[int],
+    name: Optional[str] = None,
+    shuffle_seed: Optional[int] = None,
+) -> DataStream:
+    """Build a :class:`DataStream` from a feature matrix and group labels.
+
+    Parameters
+    ----------
+    features:
+        Array of shape ``(n, d)``; row ``i`` becomes the payload of element
+        ``i``.
+    groups:
+        Iterable of ``n`` integer group labels.
+    """
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise InvalidParameterError(
+            f"features must be a 2-D array of shape (n, d), got ndim={features.ndim}"
+        )
+    group_list = [int(g) for g in groups]
+    if len(group_list) != features.shape[0]:
+        raise InvalidParameterError(
+            f"got {features.shape[0]} feature rows but {len(group_list)} group labels"
+        )
+    elements = [
+        Element(uid=i, vector=features[i], group=group_list[i]) for i in range(features.shape[0])
+    ]
+    return DataStream(elements, shuffle_seed=shuffle_seed, name=name)

@@ -1,0 +1,33 @@
+"""Shared utilities: errors, RNG handling, timers, and validation helpers."""
+
+from repro.utils.errors import (
+    ReproError,
+    InvalidParameterError,
+    InfeasibleConstraintError,
+    EmptyStreamError,
+    NoFeasibleSolutionError,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer, StageTimer
+from repro.utils.validation import (
+    require,
+    require_positive_int,
+    require_in_open_interval,
+    require_non_empty,
+)
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "InfeasibleConstraintError",
+    "EmptyStreamError",
+    "NoFeasibleSolutionError",
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "StageTimer",
+    "require",
+    "require_positive_int",
+    "require_in_open_interval",
+    "require_non_empty",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch a single base class at an
+application boundary while still being able to distinguish specific
+failure modes programmatically.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A caller supplied a parameter outside the documented domain.
+
+    Raised, for example, when ``epsilon`` is not in the open interval
+    ``(0, 1)`` or when a solution size ``k`` is not a positive integer.
+    """
+
+
+class InfeasibleConstraintError(ReproError, ValueError):
+    """A fairness constraint cannot be satisfied by the given dataset.
+
+    Raised when a group quota exceeds the number of elements available in
+    that group, or when the quotas reference groups that never occur in
+    the stream.
+    """
+
+
+class EmptyStreamError(ReproError, ValueError):
+    """An algorithm was asked to run on a stream that produced no elements."""
+
+
+class NoFeasibleSolutionError(ReproError, RuntimeError):
+    """The algorithm terminated without finding any feasible fair solution.
+
+    This can happen for adversarial inputs where no guess ``mu`` yields a
+    candidate that can be balanced or augmented into a fair set.  Callers
+    typically handle this by re-running with a smaller ``epsilon`` or by
+    falling back to an offline baseline.
+    """

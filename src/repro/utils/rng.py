@@ -1,0 +1,55 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in the library accepts a ``seed`` argument that may be
+``None``, an integer, or an existing :class:`numpy.random.Generator`.  The
+helpers here normalise those three cases so the rest of the code base never
+calls ``numpy.random.default_rng`` directly with ad-hoc conventions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for entropy-based seeding, an ``int`` for reproducible
+        seeding, an existing ``Generator`` (returned unchanged), or a
+        ``SeedSequence``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Useful when an experiment needs one generator per repetition so that
+    repetitions remain reproducible independently of each other.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing fresh seeds from the provided generator.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def derive_seed(seed: Optional[int], salt: int) -> Optional[int]:
+    """Combine ``seed`` with ``salt`` deterministically; keep ``None`` as ``None``."""
+    if seed is None:
+        return None
+    return (int(seed) * 1_000_003 + int(salt)) % (2**63 - 1)

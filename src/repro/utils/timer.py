@@ -1,0 +1,91 @@
+"""Lightweight wall-clock timers used by the algorithms and the harness.
+
+The paper reports *average update time* (stream-processing time divided by
+the number of elements) and *post-processing time* separately, so the
+algorithms need a timer that can account for named stages.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+from contextlib import contextmanager
+
+
+@dataclass
+class Timer:
+    """A simple start/stop wall-clock timer.
+
+    The timer can be re-started; elapsed time accumulates across runs.
+    """
+
+    elapsed: float = 0.0
+    _started_at: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        """Start (or resume) the timer.  Starting twice is an error."""
+        if self._started_at is not None:
+            raise RuntimeError("Timer is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and return the total elapsed time so far."""
+        if self._started_at is None:
+            raise RuntimeError("Timer is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently running."""
+        return self._started_at is not None
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        """Context manager form: ``with timer.measure(): ...``."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+class StageTimer:
+    """Accumulates elapsed wall-clock time for named stages.
+
+    Example
+    -------
+    >>> stages = StageTimer()
+    >>> with stages.stage("stream"):
+    ...     pass
+    >>> with stages.stage("postprocess"):
+    ...     pass
+    >>> sorted(stages.totals())
+    ['postprocess', 'stream']
+    """
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Timer] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[Timer]:
+        """Measure one stage; nested/different stages can interleave freely."""
+        timer = self._timers.setdefault(name, Timer())
+        with timer.measure():
+            yield timer
+
+    def elapsed(self, name: str) -> float:
+        """Total seconds recorded for stage ``name`` (0.0 if never entered)."""
+        timer = self._timers.get(name)
+        return timer.elapsed if timer is not None else 0.0
+
+    def totals(self) -> Dict[str, float]:
+        """Mapping of stage name to accumulated seconds."""
+        return {name: timer.elapsed for name, timer in self._timers.items()}
+
+    def total(self) -> float:
+        """Sum of all stages."""
+        return sum(timer.elapsed for timer in self._timers.values())

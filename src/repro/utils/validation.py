@@ -1,0 +1,56 @@
+"""Argument-validation helpers shared across the package.
+
+These helpers raise :class:`repro.utils.errors.InvalidParameterError` with a
+uniform message format so the tests can assert on error behaviour and users
+get actionable diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sized
+
+from repro.utils.errors import InvalidParameterError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`InvalidParameterError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise InvalidParameterError(message)
+
+
+def require_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise InvalidParameterError(f"{name} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise InvalidParameterError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def require_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise InvalidParameterError(f"{name} must be a non-negative integer, got {value!r}")
+    if value < 0:
+        raise InvalidParameterError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def require_in_open_interval(value: Any, low: float, high: float, name: str) -> float:
+    """Validate ``low < value < high`` and return ``value`` as ``float``."""
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"{name} must be a number, got {value!r}") from exc
+    if not (low < numeric < high):
+        raise InvalidParameterError(
+            f"{name} must lie in the open interval ({low}, {high}), got {numeric}"
+        )
+    return numeric
+
+
+def require_non_empty(value: Sized, name: str) -> Sized:
+    """Validate that a sized container is non-empty and return it."""
+    if len(value) == 0:
+        raise InvalidParameterError(f"{name} must not be empty")
+    return value

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import synthetic_blobs, uniform_points
+from repro.fairness.constraints import equal_representation
+from repro.metrics.vector import EuclideanMetric, ManhattanMetric
+from repro.streaming.element import Element
+from repro.streaming.stream import DataStream
+
+
+@pytest.fixture
+def euclidean_metric() -> EuclideanMetric:
+    """The Euclidean metric."""
+    return EuclideanMetric()
+
+
+@pytest.fixture
+def manhattan_metric() -> ManhattanMetric:
+    """The Manhattan metric."""
+    return ManhattanMetric()
+
+
+@pytest.fixture
+def grid_elements() -> list:
+    """A deterministic 4x4 grid of points split into two groups by column parity.
+
+    Small enough for brute-force oracles, structured enough that optimal
+    solutions are easy to reason about by hand.
+    """
+    elements = []
+    uid = 0
+    for x in range(4):
+        for y in range(4):
+            elements.append(Element(uid=uid, vector=np.array([float(x), float(y)]), group=x % 2))
+            uid += 1
+    return elements
+
+
+@pytest.fixture
+def grid_stream(grid_elements) -> DataStream:
+    """The grid elements as a stream (canonical order)."""
+    return DataStream(grid_elements, name="grid")
+
+
+@pytest.fixture
+def two_group_dataset():
+    """A small two-group Gaussian-blob dataset."""
+    return synthetic_blobs(n=300, m=2, seed=11)
+
+
+@pytest.fixture
+def five_group_dataset():
+    """A small five-group Gaussian-blob dataset."""
+    return synthetic_blobs(n=300, m=5, seed=13)
+
+
+@pytest.fixture
+def unit_square_dataset():
+    """Uniform points in the unit square with two groups."""
+    return uniform_points(n=120, m=2, seed=5)
+
+
+@pytest.fixture
+def small_constraint(two_group_dataset):
+    """An equal-representation constraint of size 8 for the two-group dataset."""
+    return equal_representation(k=8, groups=two_group_dataset.group_sizes().keys())

@@ -1,0 +1,78 @@
+"""Cross-algorithm consistency tests.
+
+These tests encode the *relationships* the paper relies on: every fair
+solution is dominated by the unconstrained optimum, all algorithms agree on
+fairness, streaming algorithms store far fewer elements than the offline
+baselines, and the quality ordering reported in the evaluation holds at
+least loosely on small instances.
+"""
+
+import pytest
+
+from repro.baselines.fair_flow import fair_flow
+from repro.baselines.fair_swap import fair_swap
+from repro.baselines.gmm import gmm
+from repro.core.sfdm1 import SFDM1
+from repro.core.sfdm2 import SFDM2
+from repro.datasets.synthetic import synthetic_blobs
+from repro.evaluation.measures import optimum_upper_bound
+from repro.fairness.constraints import equal_representation
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_blobs(n=600, m=2, seed=21)
+
+
+@pytest.fixture(scope="module")
+def constraint(dataset):
+    return equal_representation(12, dataset.group_sizes().keys())
+
+
+@pytest.fixture(scope="module")
+def results(dataset, constraint):
+    return {
+        "GMM": gmm(dataset.elements, dataset.metric, constraint.total_size),
+        "FairSwap": fair_swap(dataset.elements, dataset.metric, constraint),
+        "FairFlow": fair_flow(dataset.elements, dataset.metric, constraint),
+        "SFDM1": SFDM1(dataset.metric, constraint, epsilon=0.1).run(dataset.stream(seed=1)),
+        "SFDM2": SFDM2(dataset.metric, constraint, epsilon=0.1).run(dataset.stream(seed=1)),
+    }
+
+
+class TestCrossAlgorithmConsistency:
+    def test_every_fair_algorithm_returns_fair_solution(self, results, constraint):
+        for name, result in results.items():
+            if name == "GMM":
+                continue
+            assert result.solution.is_fair, f"{name} returned an unfair solution"
+            assert result.solution.size == constraint.total_size
+
+    def test_fair_solutions_never_beat_unconstrained_upper_bound(self, results, dataset, constraint):
+        upper = optimum_upper_bound(dataset.elements, dataset.metric, constraint.total_size)
+        for name, result in results.items():
+            assert result.diversity <= upper + 1e-9, name
+
+    def test_streaming_solutions_are_competitive_with_fair_swap(self, results):
+        """The paper reports SFDM quality 'close or equal' to FairSwap at m=2.
+
+        Allow a generous factor to keep the test robust on random data while
+        still catching gross regressions.
+        """
+        baseline = results["FairSwap"].diversity
+        assert results["SFDM1"].diversity >= 0.5 * baseline
+        assert results["SFDM2"].diversity >= 0.5 * baseline
+
+    def test_streaming_algorithms_store_far_fewer_elements(self, results, dataset):
+        for name in ("SFDM1", "SFDM2"):
+            assert results[name].stats.peak_stored_elements < dataset.size / 4
+        for name in ("GMM", "FairSwap", "FairFlow"):
+            assert results[name].stats.peak_stored_elements == dataset.size
+
+    def test_sfdm2_not_worse_than_sfdm1_by_much(self, results):
+        """The paper finds SFDM2 consistently at least as good as SFDM1."""
+        assert results["SFDM2"].diversity >= 0.7 * results["SFDM1"].diversity
+
+    def test_all_algorithms_record_positive_runtime(self, results):
+        for name, result in results.items():
+            assert result.stats.total_seconds > 0, name

@@ -1,0 +1,56 @@
+"""Smoke tests that run every example script end-to-end.
+
+The examples are part of the public deliverable, so regressions in the
+library API should break these tests rather than only surfacing when a user
+runs the scripts by hand.  Each script is executed in a subprocess with a
+reduced workload via environment-independent defaults; the assertion is on
+the exit status and a few expected output markers.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_all_algorithms():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for name in ("SFDM1", "SFDM2", "FairSwap", "FairFlow", "GMM"):
+        assert name in completed.stdout
+
+
+def test_figure_illustration_draws_two_figures():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "figure1_and_2_illustration.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "Figure 1(a)" in completed.stdout
+    assert "Figure 2(b)" in completed.stdout

@@ -1,0 +1,89 @@
+"""Integration tests for the extension features layered on top of the paper.
+
+Covers the SFDM2 ablation knob (``greedy_augmentation``), the local-search
+post-optimizer applied to streaming output, the composable-coreset pipeline,
+and the sliding-window wrapper on a realistic-looking stream.
+"""
+
+import pytest
+
+from repro.core.coreset import coreset_fair_diversity
+from repro.core.local_search import local_search_improve
+from repro.core.sfdm2 import SFDM2
+from repro.datasets.synthetic import synthetic_blobs
+from repro.fairness.constraints import equal_representation
+from repro.streaming.window import CheckpointedWindowFDM
+
+
+class TestGreedyAugmentationAblation:
+    def test_both_variants_fair(self):
+        dataset = synthetic_blobs(n=400, m=4, seed=8)
+        constraint = equal_representation(12, dataset.group_sizes().keys())
+        greedy = SFDM2(dataset.metric, constraint, epsilon=0.1).run(dataset.stream(seed=3))
+        plain = SFDM2(
+            dataset.metric, constraint, epsilon=0.1, greedy_augmentation=False
+        ).run(dataset.stream(seed=3))
+        assert greedy.solution.is_fair
+        assert plain.solution.is_fair
+
+    def test_greedy_variant_not_dominated(self):
+        """Across a few seeds, the diversity-aware augmentation wins on average."""
+        greedy_total = 0.0
+        plain_total = 0.0
+        for seed in range(3):
+            dataset = synthetic_blobs(n=400, m=5, seed=seed)
+            constraint = equal_representation(15, dataset.group_sizes().keys())
+            greedy_total += (
+                SFDM2(dataset.metric, constraint, epsilon=0.1)
+                .run(dataset.stream(seed=seed))
+                .diversity
+            )
+            plain_total += (
+                SFDM2(dataset.metric, constraint, epsilon=0.1, greedy_augmentation=False)
+                .run(dataset.stream(seed=seed))
+                .diversity
+            )
+        assert greedy_total >= plain_total * 0.95
+
+
+class TestLocalSearchOnStreamingOutput:
+    def test_refinement_improves_or_preserves(self):
+        dataset = synthetic_blobs(n=600, m=3, seed=4)
+        constraint = equal_representation(9, dataset.group_sizes().keys())
+        result = SFDM2(dataset.metric, constraint, epsilon=0.1).run(dataset.stream(seed=5))
+        reservoir = dataset.elements[::5]
+        refined = local_search_improve(
+            result.solution.elements,
+            list(result.solution.elements) + reservoir,
+            dataset.metric,
+            constraint,
+        )
+        assert refined.is_fair
+        assert refined.diversity >= result.diversity - 1e-12
+
+
+class TestCoresetPipeline:
+    def test_matches_constraint_on_blobs(self):
+        dataset = synthetic_blobs(n=800, m=4, seed=6)
+        constraint = equal_representation(12, dataset.group_sizes().keys())
+        solution = coreset_fair_diversity(
+            dataset.elements, dataset.metric, constraint, num_parts=8
+        )
+        assert solution.is_fair
+        assert solution.size == 12
+        assert solution.diversity > 0
+
+
+class TestSlidingWindowPipeline:
+    def test_windowed_solution_tracks_recent_data(self):
+        dataset = synthetic_blobs(n=1_200, m=2, seed=9)
+        constraint = equal_representation(8, dataset.group_sizes().keys())
+        algorithm = CheckpointedWindowFDM(
+            dataset.metric, constraint, window=300, blocks=6
+        )
+        solution = algorithm.run(dataset.elements)
+        assert solution is not None
+        assert solution.is_fair
+        assert algorithm.stored_elements < 300
+        # All selected elements come from (roughly) the last window of the stream.
+        assert all(element.uid >= 1_200 - 2 * 300 for element in solution.elements)

@@ -1,0 +1,67 @@
+"""Integration tests for the experiment harness end-to-end."""
+
+import pytest
+
+from repro.datasets.synthetic import synthetic_blobs
+from repro.evaluation.harness import (
+    ExperimentConfig,
+    default_algorithms,
+    run_experiment,
+    streaming_algorithms,
+)
+from repro.evaluation.reporting import format_table, records_to_rows, write_csv
+
+
+class TestRunExperiment:
+    def test_full_suite_on_two_group_dataset(self):
+        dataset = synthetic_blobs(n=200, m=2, seed=1)
+        configs = [ExperimentConfig(dataset=dataset, k=6, repetitions=1)]
+        records = run_experiment(configs)
+        names = {record.algorithm for record in records}
+        assert names == {"GMM", "FairSwap", "FairFlow", "SFDM1", "SFDM2"}
+        assert all(record.diversity > 0 for record in records)
+
+    def test_unsupported_algorithms_skipped_for_many_groups(self):
+        dataset = synthetic_blobs(n=200, m=4, seed=1)
+        configs = [ExperimentConfig(dataset=dataset, k=8, repetitions=1)]
+        records = run_experiment(configs)
+        names = {record.algorithm for record in records}
+        assert "SFDM1" not in names
+        assert "FairSwap" not in names
+        assert {"GMM", "FairFlow", "SFDM2"}.issubset(names)
+
+    def test_streaming_only_suite(self):
+        dataset = synthetic_blobs(n=150, m=2, seed=2)
+        configs = [ExperimentConfig(dataset=dataset, k=6, repetitions=2)]
+        records = run_experiment(configs, algorithms=streaming_algorithms())
+        assert {record.algorithm for record in records} == {"SFDM1", "SFDM2"}
+        assert all(record.repetitions == 2 for record in records)
+
+    def test_records_flow_into_reporting(self, tmp_path):
+        dataset = synthetic_blobs(n=150, m=2, seed=3)
+        configs = [ExperimentConfig(dataset=dataset, k=6, repetitions=1)]
+        records = run_experiment(configs, algorithms=streaming_algorithms())
+        rows = records_to_rows(records, columns=["algorithm", "diversity", "total_seconds"])
+        table = format_table(rows, title="smoke")
+        assert "SFDM1" in table and "SFDM2" in table
+        path = write_csv(rows, tmp_path / "records.csv")
+        assert path.exists()
+
+    def test_multiple_cells(self):
+        dataset = synthetic_blobs(n=120, m=2, seed=4)
+        configs = [
+            ExperimentConfig(dataset=dataset, k=4, repetitions=1),
+            ExperimentConfig(dataset=dataset, k=8, repetitions=1),
+        ]
+        records = run_experiment(configs, algorithms=streaming_algorithms())
+        ks = {record.k for record in records}
+        assert ks == {4, 8}
+
+    def test_proportional_fairness_cells(self):
+        dataset = synthetic_blobs(n=200, m=2, seed=5)
+        configs = [
+            ExperimentConfig(dataset=dataset, k=8, repetitions=1, fairness="proportional")
+        ]
+        records = run_experiment(configs, algorithms=streaming_algorithms())
+        assert all(record.fairness == "proportional" for record in records)
+        assert all(record.diversity > 0 for record in records)

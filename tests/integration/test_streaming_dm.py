@@ -1,0 +1,80 @@
+"""Integration tests for Algorithm 1 (unconstrained streaming DM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_dm
+from repro.core.streaming_dm import StreamingDiversityMaximization
+from repro.datasets.synthetic import synthetic_blobs
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+from repro.streaming.stream import DataStream
+from repro.utils.errors import NoFeasibleSolutionError
+
+
+def _line_stream(count):
+    elements = [Element(uid=i, vector=np.array([float(i), 0.0]), group=0) for i in range(count)]
+    return elements, DataStream(elements)
+
+
+class TestStreamingDM:
+    def test_returns_k_elements(self):
+        _, stream = _line_stream(50)
+        result = StreamingDiversityMaximization(EuclideanMetric(), k=5, epsilon=0.1).run(stream)
+        assert result.solution.size == 5
+
+    def test_theorem1_guarantee_with_exact_bounds(self):
+        """With exact (d_min, d_max) the solution must be >= (1-eps)/2 * OPT."""
+        elements, stream = _line_stream(16)
+        epsilon = 0.1
+        algorithm = StreamingDiversityMaximization(
+            EuclideanMetric(), k=4, epsilon=epsilon, distance_bounds=(1.0, 15.0)
+        )
+        result = algorithm.run(stream)
+        _, optimum = exact_dm(elements, EuclideanMetric(), 4)
+        assert result.diversity >= (1 - epsilon) / 2 * optimum - 1e-9
+
+    def test_guarantee_holds_across_permutations(self):
+        dataset = synthetic_blobs(n=200, m=1, seed=3)
+        space = dataset.space()
+        d_min, d_max = space.distance_bounds(exact=True)
+        epsilon = 0.1
+        from repro.baselines.gmm import gmm
+
+        upper = 2 * gmm(dataset.elements, dataset.metric, 8).diversity  # >= OPT
+        for seed in range(3):
+            result = StreamingDiversityMaximization(
+                dataset.metric, k=8, epsilon=epsilon, distance_bounds=(d_min, d_max)
+            ).run(dataset.stream(seed=seed))
+            # OPT >= upper/2, so the guarantee implies >= (1-eps)/4 * upper.
+            assert result.diversity >= (1 - epsilon) / 4 * upper / 2 - 1e-9
+
+    def test_space_usage_is_sublinear(self):
+        dataset = synthetic_blobs(n=2_000, m=1, seed=5)
+        result = StreamingDiversityMaximization(dataset.metric, k=10, epsilon=0.2).run(
+            dataset.stream()
+        )
+        assert result.stats.peak_stored_elements < dataset.size / 4
+        assert result.stats.elements_processed == dataset.size
+
+    def test_estimated_bounds_still_work(self):
+        _, stream = _line_stream(100)
+        result = StreamingDiversityMaximization(EuclideanMetric(), k=6, epsilon=0.1).run(stream)
+        assert result.solution.size == 6
+        assert result.diversity > 0
+
+    def test_too_few_distinct_points_raises(self):
+        elements = [Element(uid=i, vector=np.array([0.0, 0.0]), group=0) for i in range(5)]
+        stream = DataStream(elements)
+        algorithm = StreamingDiversityMaximization(
+            EuclideanMetric(), k=3, epsilon=0.1, distance_bounds=(1.0, 2.0)
+        )
+        with pytest.raises(NoFeasibleSolutionError):
+            algorithm.run(stream)
+
+    def test_stats_track_guesses_and_distances(self):
+        _, stream = _line_stream(60)
+        result = StreamingDiversityMaximization(EuclideanMetric(), k=5, epsilon=0.1).run(stream)
+        assert result.stats.extra["num_guesses"] > 0
+        assert result.stats.stream_distance_computations > 0
+        assert result.stats.stream_seconds > 0

@@ -1,0 +1,112 @@
+"""Property-based tests for the streaming algorithms on random instances.
+
+The invariants checked here are the ones the paper proves:
+
+* every returned solution satisfies the fairness constraint exactly;
+* the candidate invariant (pairwise distance >= mu) holds, so the returned
+  diversity respects the approximation guarantee relative to the exact
+  optimum on small instances when exact distance bounds are provided;
+* the number of stored elements respects the O(k m log(Delta)/eps) bound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_fdm
+from repro.core.sfdm1 import SFDM1
+from repro.core.sfdm2 import SFDM2
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.space import exact_distance_bounds
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+from repro.streaming.stream import DataStream
+
+METRIC = EuclideanMetric()
+
+
+@st.composite
+def small_fair_instances(draw, max_groups: int = 3):
+    """A random small instance: points on a 2-D integer grid with group labels."""
+    m = draw(st.integers(min_value=2, max_value=max_groups))
+    quotas = {group: draw(st.integers(min_value=1, max_value=2)) for group in range(m)}
+    k = sum(quotas.values())
+    n = draw(st.integers(min_value=k + m, max_value=14))
+    coordinates = draw(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    groups = [draw(st.integers(0, m - 1)) for _ in range(n)]
+    # Guarantee feasibility: overwrite the first sum(quotas) labels round-robin.
+    index = 0
+    for group, quota in quotas.items():
+        for _ in range(quota):
+            groups[index % n] = group
+            index += 1
+    elements = [
+        Element(uid=i, vector=np.array([float(x), float(y)]), group=groups[i])
+        for i, (x, y) in enumerate(coordinates)
+    ]
+    return elements, FairnessConstraint(quotas)
+
+
+class TestSFDMProperties:
+    @given(instance=small_fair_instances(max_groups=2))
+    @settings(max_examples=25, deadline=None)
+    def test_sfdm1_fair_and_within_guarantee(self, instance):
+        elements, constraint = instance
+        if constraint.num_groups != 2:
+            return
+        epsilon = 0.1
+        d_min, d_max = exact_distance_bounds(elements, METRIC)
+        result = SFDM1(
+            METRIC, constraint, epsilon=epsilon, distance_bounds=(d_min, d_max)
+        ).run(DataStream(elements))
+        assert result.solution.is_fair
+        _, optimum = exact_fdm(elements, METRIC, constraint)
+        if result.solution.size >= 2 and np.isfinite(optimum):
+            assert result.diversity >= (1 - epsilon) / 4 * optimum - 1e-9
+
+    @given(instance=small_fair_instances(max_groups=3))
+    @settings(max_examples=25, deadline=None)
+    def test_sfdm2_fair_and_within_guarantee(self, instance):
+        elements, constraint = instance
+        epsilon = 0.1
+        m = constraint.num_groups
+        d_min, d_max = exact_distance_bounds(elements, METRIC)
+        result = SFDM2(
+            METRIC, constraint, epsilon=epsilon, distance_bounds=(d_min, d_max)
+        ).run(DataStream(elements))
+        assert result.solution.is_fair
+        _, optimum = exact_fdm(elements, METRIC, constraint)
+        if result.solution.size >= 2 and np.isfinite(optimum):
+            assert result.diversity >= (1 - epsilon) / (3 * m + 2) * optimum - 1e-9
+
+    @given(instance=small_fair_instances(max_groups=3), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_sfdm2_fair_under_arbitrary_permutations(self, instance, seed):
+        elements, constraint = instance
+        result = SFDM2(METRIC, constraint, epsilon=0.2).run(
+            DataStream(elements, shuffle_seed=seed)
+        )
+        assert result.solution.is_fair
+        assert result.solution.size == constraint.total_size
+
+    @given(instance=small_fair_instances(max_groups=3))
+    @settings(max_examples=15, deadline=None)
+    def test_space_bound_respected(self, instance):
+        elements, constraint = instance
+        epsilon = 0.2
+        d_min, d_max = exact_distance_bounds(elements, METRIC)
+        result = SFDM2(
+            METRIC, constraint, epsilon=epsilon, distance_bounds=(d_min, d_max)
+        ).run(DataStream(elements))
+        k = constraint.total_size
+        m = constraint.num_groups
+        num_guesses = result.stats.extra["num_guesses"]
+        assert result.stats.peak_stored_elements <= (m + 1) * k * num_guesses

@@ -1,0 +1,80 @@
+"""Property-based tests for the greedy candidate and the clustering helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidate import Candidate
+from repro.core.postprocess import cluster_elements
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+
+METRIC = EuclideanMetric()
+
+points = st.lists(
+    st.tuples(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _elements(coordinates):
+    return [
+        Element(uid=i, vector=np.array([x, y]), group=i % 2)
+        for i, (x, y) in enumerate(coordinates)
+    ]
+
+
+class TestCandidateInvariant:
+    @given(
+        coordinates=points,
+        mu=st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+        capacity=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pairwise_distance_at_least_mu(self, coordinates, mu, capacity):
+        candidate = Candidate(mu=mu, capacity=capacity, metric=METRIC)
+        for element in _elements(coordinates):
+            candidate.offer(element)
+        assert len(candidate) <= capacity
+        elements = candidate.elements
+        for i in range(len(elements)):
+            for j in range(i + 1, len(elements)):
+                assert METRIC.distance(elements[i].vector, elements[j].vector) >= mu
+
+    @given(coordinates=points, mu=st.floats(min_value=0.1, max_value=20.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_rejected_elements_are_close_when_not_full(self, coordinates, mu):
+        """If the candidate never filled up, every rejected element must be
+        within mu of the candidate — this is the fact Theorem 1 relies on."""
+        candidate = Candidate(mu=mu, capacity=1_000, metric=METRIC)
+        rejected = []
+        for element in _elements(coordinates):
+            if not candidate.offer(element):
+                rejected.append(element)
+        for element in rejected:
+            assert candidate.distance_to(element) < mu
+
+
+class TestClusteringProperties:
+    @given(
+        coordinates=points,
+        threshold=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_clusters_partition_and_separate(self, coordinates, threshold):
+        elements = _elements(coordinates)
+        clusters = cluster_elements(elements, threshold, METRIC)
+        # Partition: every element appears exactly once.
+        uids = sorted(e.uid for cluster in clusters for e in cluster)
+        assert uids == sorted({e.uid for e in elements})
+        # Separation: inter-cluster distances are at least the threshold.
+        for a in range(len(clusters)):
+            for b in range(a + 1, len(clusters)):
+                for x in clusters[a]:
+                    for y in clusters[b]:
+                        assert METRIC.distance(x.vector, y.vector) >= threshold

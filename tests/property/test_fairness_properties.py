@@ -1,0 +1,50 @@
+"""Property-based tests for the fairness-constraint factories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fairness.constraints import equal_representation, proportional_representation
+
+
+class TestEqualRepresentationProperties:
+    @given(
+        m=st.integers(min_value=1, max_value=12),
+        extra=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_quotas_sum_to_k_and_are_balanced(self, m, extra):
+        k = m + extra
+        constraint = equal_representation(k, list(range(m)))
+        quotas = list(constraint.quotas.values())
+        assert sum(quotas) == k
+        assert max(quotas) - min(quotas) <= 1
+        assert all(q >= 1 for q in quotas)
+
+
+class TestProportionalRepresentationProperties:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=10),
+        extra=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_quotas_sum_to_k_with_minimums(self, sizes, extra):
+        group_sizes = dict(enumerate(sizes))
+        k = len(sizes) + extra
+        constraint = proportional_representation(k, group_sizes)
+        quotas = constraint.quotas
+        assert sum(quotas.values()) == k
+        assert all(q >= 1 for q in quotas.values())
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=10_000), min_size=2, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_larger_groups_never_get_fewer_slots(self, sizes):
+        group_sizes = dict(enumerate(sizes))
+        k = 3 * len(sizes)
+        constraint = proportional_representation(k, group_sizes)
+        for a in group_sizes:
+            for b in group_sizes:
+                if group_sizes[a] > group_sizes[b]:
+                    assert constraint.quota(a) >= constraint.quota(b) - 1

@@ -1,0 +1,131 @@
+"""Property-based tests: matroid axioms and matroid-intersection optimality."""
+
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matroids.intersection import (
+    intersection_upper_bound,
+    is_common_independent,
+    matroid_intersection,
+)
+from repro.matroids.partition import PartitionMatroid
+from repro.matroids.uniform import UniformMatroid
+
+
+@st.composite
+def partition_matroids(draw, max_items: int = 12, max_blocks: int = 4):
+    """A random partition matroid over the ground set {0, ..., n-1}."""
+    n = draw(st.integers(min_value=1, max_value=max_items))
+    num_blocks = draw(st.integers(min_value=1, max_value=max_blocks))
+    assignment = draw(
+        st.lists(st.integers(0, num_blocks - 1), min_size=n, max_size=n)
+    )
+    capacities = {
+        block: draw(st.integers(min_value=0, max_value=3)) for block in range(num_blocks)
+    }
+    mapping: Dict[int, int] = dict(enumerate(assignment))
+    return PartitionMatroid(range(n), block_of=mapping.__getitem__, capacities=capacities)
+
+
+@st.composite
+def matroid_pairs(draw, max_items: int = 10):
+    """Two random matroids over the same ground set {0, ..., n-1}."""
+    n = draw(st.integers(min_value=1, max_value=max_items))
+
+    def build():
+        kind = draw(st.sampled_from(["uniform", "partition"]))
+        if kind == "uniform":
+            return UniformMatroid(range(n), k=draw(st.integers(0, n)))
+        num_blocks = draw(st.integers(min_value=1, max_value=3))
+        assignment = draw(st.lists(st.integers(0, num_blocks - 1), min_size=n, max_size=n))
+        capacities = {
+            block: draw(st.integers(min_value=0, max_value=3)) for block in range(num_blocks)
+        }
+        mapping = dict(enumerate(assignment))
+        return PartitionMatroid(range(n), block_of=mapping.__getitem__, capacities=capacities)
+
+    return build(), build()
+
+
+class TestMatroidAxioms:
+    @given(matroid=partition_matroids())
+    @settings(max_examples=40, deadline=None)
+    def test_empty_set_independent(self, matroid):
+        assert matroid.is_independent(set())
+
+    @given(matroid=partition_matroids(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_hereditary_property(self, matroid, data):
+        ground = sorted(matroid.ground_set)
+        subset = set(data.draw(st.lists(st.sampled_from(ground), unique=True)) if ground else [])
+        if matroid.is_independent(subset) and subset:
+            smaller = set(list(subset)[:-1])
+            assert matroid.is_independent(smaller)
+
+    @given(matroid=partition_matroids(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_augmentation_property(self, matroid, data):
+        """If |A| > |B| and both independent, some x in A\\B keeps B independent."""
+        ground = sorted(matroid.ground_set)
+        if not ground:
+            return
+        a = matroid.max_independent_subset(
+            data.draw(st.lists(st.sampled_from(ground), unique=True))
+        )
+        b = matroid.max_independent_subset(
+            data.draw(st.lists(st.sampled_from(ground), unique=True))
+        )
+        if len(a) <= len(b):
+            a, b = b, a
+        if len(a) == len(b):
+            return
+        candidates = [x for x in a - b if matroid.is_independent(b | {x})]
+        assert candidates, "augmentation property violated"
+
+    @given(matroid=partition_matroids())
+    @settings(max_examples=30, deadline=None)
+    def test_all_bases_have_full_rank(self, matroid):
+        basis = matroid.extend_to_basis(set())
+        assert len(basis) == matroid.full_rank()
+
+
+def _exhaustive_max_common_independent(m1, m2) -> int:
+    """Exponential oracle for the maximum common independent set size."""
+    import itertools
+
+    ground = sorted(m1.ground_set)
+    best = 0
+    for size in range(len(ground), -1, -1):
+        if size <= best:
+            break
+        for subset in itertools.combinations(ground, size):
+            if m1.is_independent(subset) and m2.is_independent(subset):
+                best = max(best, size)
+                break
+    return best
+
+
+class TestMatroidIntersectionProperties:
+    @given(pair=matroid_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_result_is_common_independent(self, pair):
+        m1, m2 = pair
+        result = matroid_intersection(m1, m2)
+        assert is_common_independent(m1, m2, result)
+
+    @given(pair=matroid_pairs(max_items=7))
+    @settings(max_examples=20, deadline=None)
+    def test_result_is_maximum(self, pair):
+        m1, m2 = pair
+        result = matroid_intersection(m1, m2)
+        assert len(result) == _exhaustive_max_common_independent(m1, m2)
+
+    @given(pair=matroid_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_result_within_upper_bound(self, pair):
+        m1, m2 = pair
+        result = matroid_intersection(m1, m2)
+        assert len(result) <= intersection_upper_bound(m1, m2)

@@ -1,0 +1,85 @@
+"""Property-based tests: metric axioms for every shipped metric."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.vector import (
+    AngularMetric,
+    ChebyshevMetric,
+    EuclideanMetric,
+    HammingMetric,
+    ManhattanMetric,
+    MinkowskiMetric,
+)
+
+DIM = 4
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+vectors = arrays(dtype=float, shape=DIM, elements=finite_floats)
+nonzero_vectors = vectors.filter(lambda v: float(np.linalg.norm(v)) > 1e-6)
+binary_vectors = arrays(dtype=int, shape=DIM, elements=st.integers(0, 1))
+
+TRIANGLE_METRICS = [
+    EuclideanMetric(),
+    ManhattanMetric(),
+    ChebyshevMetric(),
+    MinkowskiMetric(3),
+    HammingMetric(),
+]
+
+
+@pytest.mark.parametrize("metric", TRIANGLE_METRICS, ids=lambda m: m.name)
+class TestVectorMetricAxioms:
+    @given(x=vectors, y=vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_non_negative_and_symmetric(self, metric, x, y):
+        if metric.name == "hamming":
+            x, y = (x > 0).astype(int), (y > 0).astype(int)
+        d_xy = metric.distance(x, y)
+        d_yx = metric.distance(y, x)
+        assert d_xy >= 0
+        assert d_xy == pytest.approx(d_yx, rel=1e-9, abs=1e-9)
+
+    @given(x=vectors)
+    @settings(max_examples=25, deadline=None)
+    def test_identity(self, metric, x):
+        if metric.name == "hamming":
+            x = (x > 0).astype(int)
+        assert metric.distance(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    @given(x=vectors, y=vectors, z=vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, metric, x, y, z):
+        if metric.name == "hamming":
+            x, y, z = (x > 0).astype(int), (y > 0).astype(int), (z > 0).astype(int)
+        d_xz = metric.distance(x, z)
+        d_xy = metric.distance(x, y)
+        d_yz = metric.distance(y, z)
+        assert d_xz <= d_xy + d_yz + 1e-7
+
+
+class TestAngularMetricAxioms:
+    @given(x=nonzero_vectors, y=nonzero_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_and_bounded(self, x, y):
+        metric = AngularMetric()
+        d = metric.distance(x, y)
+        assert 0.0 <= d <= math.pi + 1e-9
+        assert d == pytest.approx(metric.distance(y, x), abs=1e-9)
+
+    @given(x=nonzero_vectors, y=nonzero_vectors, z=nonzero_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, x, y, z):
+        metric = AngularMetric()
+        assert metric.distance(x, z) <= metric.distance(x, y) + metric.distance(y, z) + 1e-7
+
+    @given(x=nonzero_vectors, scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_scale_invariance(self, x, scale):
+        metric = AngularMetric()
+        assert metric.distance(x, scale * x) == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,107 @@
+"""Property-based tests for the post-processing building blocks.
+
+These target the two lemmas the paper's analysis rests on:
+
+* Lemma 2's setting — balancing a ``µ``-separated group-blind candidate
+  with a ``µ``-separated group-specific candidate yields a fair set whose
+  diversity is at least ``µ / 2``;
+* the greedy fair fill always returns a quota-respecting (independent) set
+  and returns a *fair* set whenever the pool contains enough elements of
+  every group.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidate import Candidate
+from repro.core.postprocess import balance_by_swapping, greedy_fair_fill
+from repro.core.solution import diversity_of
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+
+METRIC = EuclideanMetric()
+
+coordinates = st.lists(
+    st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    min_size=8,
+    max_size=40,
+    unique=True,
+)
+
+
+def _elements(points, groups):
+    return [
+        Element(uid=i, vector=np.array([x, y]), group=groups[i])
+        for i, (x, y) in enumerate(points)
+    ]
+
+
+class TestBalanceBySwappingProperties:
+    @given(
+        points=coordinates,
+        mu=st.floats(min_value=0.5, max_value=30.0, allow_nan=False),
+        k1=st.integers(min_value=1, max_value=4),
+        k2=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lemma2_shape(self, points, mu, k1, k2, data):
+        """Build the Lemma 2 inputs from scratch and check its conclusion."""
+        groups = [data.draw(st.integers(0, 1)) for _ in range(len(points))]
+        elements = _elements(points, groups)
+        constraint = FairnessConstraint({0: k1, 1: k2})
+        k = k1 + k2
+
+        # Group-blind candidate of capacity k and group-specific candidates of
+        # capacity k_i, exactly as SFDM1's stream phase builds them.
+        blind = Candidate(mu=mu, capacity=k, metric=METRIC)
+        specific = {
+            0: Candidate(mu=mu, capacity=k1, metric=METRIC, group=0),
+            1: Candidate(mu=mu, capacity=k2, metric=METRIC, group=1),
+        }
+        for element in elements:
+            blind.offer(element)
+            specific[element.group].offer(element)
+
+        # The lemma's premises: all three candidates are full.
+        assume(len(blind) == k)
+        assume(len(specific[0]) == k1 and len(specific[1]) == k2)
+
+        balanced = balance_by_swapping(
+            blind.elements,
+            {0: specific[0].elements, 1: specific[1].elements},
+            constraint,
+            METRIC,
+        )
+        assert constraint.is_fair(balanced)
+        assert diversity_of(balanced, METRIC) >= mu / 2 - 1e-9
+
+
+class TestGreedyFairFillProperties:
+    @given(
+        points=coordinates,
+        quota0=st.integers(min_value=1, max_value=3),
+        quota1=st.integers(min_value=1, max_value=3),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_returns_independent_set_and_fair_when_feasible(
+        self, points, quota0, quota1, data
+    ):
+        groups = [data.draw(st.integers(0, 1)) for _ in range(len(points))]
+        elements = _elements(points, groups)
+        constraint = FairnessConstraint({0: quota0, 1: quota1})
+        result = greedy_fair_fill(elements, constraint, METRIC)
+        assert constraint.is_independent(result)
+        counts = {0: groups.count(0), 1: groups.count(1)}
+        feasible = counts[0] >= quota0 and counts[1] >= quota1
+        if feasible:
+            assert constraint.is_fair(result)
+        uids = [e.uid for e in result]
+        assert len(uids) == len(set(uids))

@@ -1,0 +1,98 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_datasets_subcommand_parses(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--dataset", "adult-sex"])
+        assert args.algorithm == "SFDM2"
+        assert args.k == 20
+        assert args.fairness == "equal"
+
+    def test_compare_with_output(self):
+        args = build_parser().parse_args(
+            ["compare", "--dataset", "synthetic-m2", "-k", "8", "--output", "x.csv"]
+        )
+        assert args.k == 8
+        assert args.output == "x.csv"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "adult-sex", "--algorithm", "Magic"])
+
+    def test_missing_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
+class TestMain:
+    def test_datasets_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "adult-sex" in output
+        assert "lyrics-genre" in output
+
+    def test_run_small_experiment(self, capsys):
+        code = main(
+            ["run", "--dataset", "synthetic-m2", "-k", "6", "--n", "200", "--seed", "1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SFDM2" in output
+        assert "diversity" in output
+
+    def test_run_offline_algorithm(self, capsys):
+        code = main(
+            ["run", "--dataset", "synthetic-m2", "--algorithm", "GMM", "-k", "5", "--n", "150"]
+        )
+        assert code == 0
+        assert "GMM" in capsys.readouterr().out
+
+    def test_compare_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "rows.csv"
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "synthetic-m2",
+                "-k",
+                "6",
+                "--n",
+                "200",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        content = output.read_text()
+        assert "SFDM1" in content and "SFDM2" in content
+
+    def test_unknown_dataset_fails_cleanly(self, capsys):
+        code = main(["run", "--dataset", "not-a-dataset", "-k", "4"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_proportional_fairness_option(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "synthetic-m2",
+                "-k",
+                "6",
+                "--n",
+                "200",
+                "--fairness",
+                "proportional",
+            ]
+        )
+        assert code == 0
+        assert "proportional" in capsys.readouterr().out

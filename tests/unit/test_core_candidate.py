@@ -1,0 +1,80 @@
+"""Unit tests for the greedy candidate S_mu."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidate import Candidate
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+
+
+def _element(uid, x, group=0):
+    return Element(uid=uid, vector=np.array([float(x), 0.0]), group=group)
+
+
+class TestCandidate:
+    def test_accepts_first_element(self):
+        candidate = Candidate(mu=1.0, capacity=3, metric=EuclideanMetric())
+        assert candidate.offer(_element(0, 0.0))
+        assert len(candidate) == 1
+
+    def test_rejects_close_element(self):
+        candidate = Candidate(mu=1.0, capacity=3, metric=EuclideanMetric())
+        candidate.offer(_element(0, 0.0))
+        assert not candidate.offer(_element(1, 0.5))
+        assert len(candidate) == 1
+
+    def test_accepts_element_at_exact_threshold(self):
+        candidate = Candidate(mu=1.0, capacity=3, metric=EuclideanMetric())
+        candidate.offer(_element(0, 0.0))
+        assert candidate.offer(_element(1, 1.0))
+
+    def test_respects_capacity(self):
+        candidate = Candidate(mu=1.0, capacity=2, metric=EuclideanMetric())
+        candidate.offer(_element(0, 0.0))
+        candidate.offer(_element(1, 10.0))
+        assert not candidate.offer(_element(2, 20.0))
+        assert candidate.is_full
+
+    def test_group_restriction(self):
+        candidate = Candidate(mu=1.0, capacity=3, metric=EuclideanMetric(), group=1)
+        assert not candidate.offer(_element(0, 0.0, group=0))
+        assert candidate.offer(_element(1, 0.0, group=1))
+
+    def test_min_pairwise_distance_invariant(self):
+        candidate = Candidate(mu=2.0, capacity=10, metric=EuclideanMetric())
+        rng = np.random.default_rng(0)
+        for uid in range(200):
+            candidate.offer(_element(uid, rng.uniform(0, 30)))
+        assert candidate.diversity() >= 2.0
+
+    def test_distance_to_empty_is_infinite(self):
+        candidate = Candidate(mu=1.0, capacity=2, metric=EuclideanMetric())
+        assert candidate.distance_to(_element(0, 0.0)) == float("inf")
+
+    def test_diversity_of_singleton_is_infinite(self):
+        candidate = Candidate(mu=1.0, capacity=2, metric=EuclideanMetric())
+        candidate.offer(_element(0, 0.0))
+        assert candidate.diversity() == float("inf")
+
+    def test_contains_and_iter(self):
+        candidate = Candidate(mu=1.0, capacity=3, metric=EuclideanMetric())
+        element = _element(0, 0.0)
+        candidate.offer(element)
+        assert element in candidate
+        assert list(candidate) == [element]
+
+    def test_count_group(self):
+        candidate = Candidate(mu=1.0, capacity=4, metric=EuclideanMetric())
+        candidate.offer(_element(0, 0.0, group=0))
+        candidate.offer(_element(1, 5.0, group=1))
+        candidate.offer(_element(2, 10.0, group=1))
+        assert candidate.count_group(1) == 2
+        assert candidate.count_group(0) == 1
+
+    def test_elements_returns_copy(self):
+        candidate = Candidate(mu=1.0, capacity=2, metric=EuclideanMetric())
+        candidate.offer(_element(0, 0.0))
+        elements = candidate.elements
+        elements.append(_element(99, 99.0))
+        assert len(candidate) == 1

@@ -1,0 +1,75 @@
+"""Unit tests for the guess ladder."""
+
+import math
+
+import pytest
+
+from repro.core.guesses import GuessLadder
+from repro.utils.errors import InvalidParameterError
+
+
+class TestGuessLadder:
+    def test_starts_at_d_min(self):
+        ladder = GuessLadder(d_min=1.0, d_max=10.0, epsilon=0.1)
+        assert ladder[0] == pytest.approx(1.0)
+
+    def test_all_values_within_bounds(self):
+        ladder = GuessLadder(d_min=0.5, d_max=20.0, epsilon=0.2)
+        assert all(0.5 <= value <= 20.0 * (1 + 1e-9) for value in ladder)
+
+    def test_geometric_progression(self):
+        ladder = GuessLadder(d_min=1.0, d_max=100.0, epsilon=0.1)
+        values = ladder.values
+        for a, b in zip(values, values[1:]):
+            assert b / a == pytest.approx(1.0 / 0.9)
+
+    def test_covers_d_max_up_to_one_step(self):
+        ladder = GuessLadder(d_min=1.0, d_max=57.3, epsilon=0.15)
+        assert ladder.values[-1] * (1.0 / 0.85) > 57.3
+
+    def test_length_within_theoretical_bound(self):
+        for epsilon in (0.05, 0.1, 0.25):
+            ladder = GuessLadder(d_min=0.01, d_max=1000.0, epsilon=epsilon)
+            assert len(ladder) <= ladder.theoretical_length_bound()
+
+    def test_smaller_epsilon_gives_longer_ladder(self):
+        fine = GuessLadder(d_min=1.0, d_max=100.0, epsilon=0.05)
+        coarse = GuessLadder(d_min=1.0, d_max=100.0, epsilon=0.25)
+        assert len(fine) > len(coarse)
+
+    def test_delta(self):
+        assert GuessLadder(1.0, 8.0, 0.1).delta == pytest.approx(8.0)
+
+    def test_equal_bounds_single_value(self):
+        ladder = GuessLadder(d_min=2.0, d_max=2.0, epsilon=0.1)
+        assert len(ladder) == 1
+        assert ladder[0] == pytest.approx(2.0)
+
+    def test_contains(self):
+        ladder = GuessLadder(1.0, 10.0, 0.1)
+        assert ladder[3] in ladder
+        assert 123.456 not in ladder
+
+    def test_predecessor(self):
+        ladder = GuessLadder(1.0, 10.0, 0.1)
+        assert ladder.predecessor(ladder[5]) == pytest.approx(ladder[5] * 0.9)
+
+    def test_largest_at_most(self):
+        ladder = GuessLadder(1.0, 10.0, 0.1)
+        value = ladder.largest_at_most(5.0)
+        assert value <= 5.0
+        assert value * (1.0 / 0.9) > 5.0
+
+    def test_largest_at_most_below_d_min_raises(self):
+        with pytest.raises(InvalidParameterError):
+            GuessLadder(1.0, 10.0, 0.1).largest_at_most(0.5)
+
+    @pytest.mark.parametrize("d_min,d_max", [(-1.0, 5.0), (0.0, 5.0), (5.0, 1.0), (1.0, math.inf)])
+    def test_invalid_bounds_rejected(self, d_min, d_max):
+        with pytest.raises(InvalidParameterError):
+            GuessLadder(d_min=d_min, d_max=d_max, epsilon=0.1)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_epsilon_rejected(self, epsilon):
+        with pytest.raises(InvalidParameterError):
+            GuessLadder(1.0, 10.0, epsilon)

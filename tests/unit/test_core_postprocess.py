@@ -1,0 +1,147 @@
+"""Unit tests for the post-processing helpers (swapping, clustering, greedy fill)."""
+
+import numpy as np
+import pytest
+
+from repro.core.postprocess import (
+    balance_by_swapping,
+    cluster_elements,
+    distance_to_set,
+    greedy_fair_fill,
+)
+from repro.core.solution import diversity_of
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+
+
+def _element(uid, x, group=0):
+    return Element(uid=uid, vector=np.array([float(x), 0.0]), group=group)
+
+
+class TestDistanceToSet:
+    def test_minimum_distance(self):
+        metric = EuclideanMetric()
+        subset = [_element(0, 0.0), _element(1, 10.0)]
+        assert distance_to_set(_element(2, 3.0), subset, metric) == pytest.approx(3.0)
+
+    def test_empty_set_is_infinite(self):
+        assert distance_to_set(_element(0, 0.0), [], EuclideanMetric()) == float("inf")
+
+
+class TestBalanceBySwapping:
+    def test_already_fair_left_untouched(self):
+        metric = EuclideanMetric()
+        constraint = FairnessConstraint({0: 1, 1: 1})
+        blind = [_element(0, 0.0, 0), _element(1, 10.0, 1)]
+        balanced = balance_by_swapping(blind, {0: [], 1: []}, constraint, metric)
+        assert balanced == blind
+
+    def test_balances_two_groups(self):
+        metric = EuclideanMetric()
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        # Blind candidate is all group 0; group 1's candidate has far points.
+        blind = [_element(i, 10.0 * i, 0) for i in range(4)]
+        group1 = [_element(10 + i, 100.0 + 10.0 * i, 1) for i in range(2)]
+        balanced = balance_by_swapping(blind, {0: [], 1: group1}, constraint, metric)
+        assert constraint.is_fair(balanced)
+        assert len(balanced) == 4
+
+    def test_keeps_size_k(self):
+        metric = EuclideanMetric()
+        constraint = FairnessConstraint({0: 1, 1: 3})
+        blind = [_element(0, 0.0, 0), _element(1, 5.0, 0), _element(2, 10.0, 1), _element(3, 15.0, 1)]
+        group1 = [_element(10, 20.0, 1), _element(11, 30.0, 1), _element(12, 40.0, 1)]
+        balanced = balance_by_swapping(blind, {0: [], 1: group1}, constraint, metric)
+        assert len(balanced) == 4
+        assert constraint.is_fair(balanced)
+
+    def test_diversity_at_least_half_mu_shape(self):
+        """Reproduces the Lemma 2 setting: a mu-separated blind candidate plus a
+        mu-separated group candidate yields a balanced set with div >= mu/2."""
+        metric = EuclideanMetric()
+        mu = 4.0
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        blind = [
+            _element(0, 0.0, 0),
+            _element(1, 4.0, 0),
+            _element(2, 8.0, 0),
+            _element(3, 12.0, 1),
+        ]
+        group1 = [_element(10, 6.0, 1), _element(11, 30.0, 1)]
+        balanced = balance_by_swapping(blind, {0: [], 1: group1}, constraint, metric)
+        assert constraint.is_fair(balanced)
+        assert diversity_of(balanced, metric) >= mu / 2
+
+
+class TestClusterElements:
+    def test_chain_merges_into_one_cluster(self):
+        metric = EuclideanMetric()
+        elements = [_element(i, 0.4 * i) for i in range(5)]
+        clusters = cluster_elements(elements, threshold=0.5, metric=metric)
+        assert len(clusters) == 1
+
+    def test_far_points_stay_separate(self):
+        metric = EuclideanMetric()
+        elements = [_element(i, 10.0 * i) for i in range(4)]
+        clusters = cluster_elements(elements, threshold=1.0, metric=metric)
+        assert len(clusters) == 4
+
+    def test_inter_cluster_distance_at_least_threshold(self):
+        metric = EuclideanMetric()
+        rng = np.random.default_rng(4)
+        elements = [_element(i, rng.uniform(0, 20)) for i in range(30)]
+        threshold = 1.5
+        clusters = cluster_elements(elements, threshold, metric)
+        for a in range(len(clusters)):
+            for b in range(a + 1, len(clusters)):
+                for x in clusters[a]:
+                    for y in clusters[b]:
+                        assert metric.distance(x.vector, y.vector) >= threshold
+
+    def test_duplicate_uids_deduplicated(self):
+        metric = EuclideanMetric()
+        element = _element(0, 0.0)
+        clusters = cluster_elements([element, element], threshold=1.0, metric=metric)
+        assert sum(len(cluster) for cluster in clusters) == 1
+
+    def test_clusters_partition_input(self):
+        metric = EuclideanMetric()
+        elements = [_element(i, 1.3 * i) for i in range(10)]
+        clusters = cluster_elements(elements, threshold=2.0, metric=metric)
+        uids = sorted(e.uid for cluster in clusters for e in cluster)
+        assert uids == list(range(10))
+
+
+class TestGreedyFairFill:
+    def test_produces_fair_set_when_possible(self):
+        metric = EuclideanMetric()
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        pool = [_element(i, 3.0 * i, i % 2) for i in range(10)]
+        result = greedy_fair_fill(pool, constraint, metric)
+        assert constraint.is_fair(result)
+
+    def test_respects_initial_selection(self):
+        metric = EuclideanMetric()
+        constraint = FairnessConstraint({0: 2, 1: 1})
+        initial = [_element(100, 50.0, 0)]
+        pool = [_element(i, 2.0 * i, i % 2) for i in range(8)]
+        result = greedy_fair_fill(pool, constraint, metric, initial=initial)
+        assert initial[0] in result
+        assert constraint.is_fair(result)
+
+    def test_partial_when_pool_lacks_a_group(self):
+        metric = EuclideanMetric()
+        constraint = FairnessConstraint({0: 1, 1: 2})
+        pool = [_element(i, float(i), 0) for i in range(5)]
+        result = greedy_fair_fill(pool, constraint, metric)
+        assert len(result) < constraint.total_size
+        assert constraint.is_independent(result)
+
+    def test_greedy_prefers_far_elements(self):
+        metric = EuclideanMetric()
+        constraint = FairnessConstraint({0: 2})
+        pool = [_element(0, 0.0, 0), _element(1, 1.0, 0), _element(2, 100.0, 0)]
+        result = greedy_fair_fill(pool, constraint, metric)
+        uids = {e.uid for e in result}
+        assert uids == {0, 2}

@@ -1,0 +1,90 @@
+"""Unit tests for Solution, FairSolution, and RunResult."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import RunResult
+from repro.core.solution import FairSolution, Solution, diversity_of
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+from repro.streaming.stats import StreamStats
+
+
+def _elements(xs, groups=None):
+    groups = groups or [0] * len(xs)
+    return [
+        Element(uid=i, vector=np.array([float(x), 0.0]), group=g)
+        for i, (x, g) in enumerate(zip(xs, groups))
+    ]
+
+
+class TestDiversityOf:
+    def test_minimum_pairwise_distance(self):
+        elements = _elements([0.0, 1.0, 5.0])
+        assert diversity_of(elements, EuclideanMetric()) == pytest.approx(1.0)
+
+    def test_fewer_than_two_elements(self):
+        assert diversity_of(_elements([3.0]), EuclideanMetric()) == float("inf")
+        assert diversity_of([], EuclideanMetric()) == float("inf")
+
+
+class TestSolution:
+    def test_properties(self):
+        elements = _elements([0.0, 2.0, 5.0])
+        solution = Solution(elements, EuclideanMetric())
+        assert solution.size == 3
+        assert solution.diversity == pytest.approx(2.0)
+        assert solution.uids == [0, 1, 2]
+        assert len(solution) == 3
+        assert list(solution) == elements
+
+    def test_group_counts(self):
+        solution = Solution(_elements([0, 1, 2], groups=[0, 1, 1]), EuclideanMetric())
+        assert solution.group_counts() == {0: 1, 1: 2}
+
+    def test_elements_returns_copy(self):
+        solution = Solution(_elements([0.0, 1.0]), EuclideanMetric())
+        solution.elements.append("junk")
+        assert solution.size == 2
+
+
+class TestFairSolution:
+    def test_fair_solution_audit(self):
+        constraint = FairnessConstraint({0: 1, 1: 1})
+        solution = FairSolution(
+            _elements([0.0, 3.0], groups=[0, 1]), EuclideanMetric(), constraint
+        )
+        assert solution.is_fair
+        assert solution.audit.violation == 0
+        assert solution.constraint == constraint
+
+    def test_unfair_solution_detected(self):
+        constraint = FairnessConstraint({0: 2, 1: 1})
+        solution = FairSolution(
+            _elements([0.0, 3.0], groups=[0, 1]), EuclideanMetric(), constraint
+        )
+        assert not solution.is_fair
+
+
+class TestRunResult:
+    def test_diversity_passthrough(self):
+        solution = Solution(_elements([0.0, 4.0]), EuclideanMetric())
+        result = RunResult(algorithm="X", solution=solution, stats=StreamStats())
+        assert result.diversity == pytest.approx(4.0)
+        assert result.succeeded
+
+    def test_no_solution(self):
+        result = RunResult(algorithm="X", solution=None, stats=StreamStats())
+        assert result.diversity == 0.0
+        assert not result.succeeded
+
+    def test_summary_flattens_params_and_stats(self):
+        solution = Solution(_elements([0.0, 4.0]), EuclideanMetric())
+        stats = StreamStats(elements_processed=10, stream_seconds=0.5)
+        result = RunResult(algorithm="X", solution=solution, stats=stats, params={"k": 2})
+        summary = result.summary()
+        assert summary["algorithm"] == "X"
+        assert summary["param_k"] == 2
+        assert summary["elements_processed"] == 10
+        assert summary["solution_size"] == 2

@@ -1,0 +1,136 @@
+"""Unit tests for the evaluation measures, harness plumbing, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import synthetic_blobs
+from repro.evaluation.harness import (
+    AlgorithmSpec,
+    ExperimentConfig,
+    default_algorithms,
+    offline_algorithms,
+    run_algorithm,
+    streaming_algorithms,
+)
+from repro.evaluation.measures import (
+    approximation_ratio_lower_bound,
+    diversity,
+    fairness_violation,
+    optimum_upper_bound,
+)
+from repro.evaluation.reporting import format_table, records_to_rows, write_csv
+from repro.fairness.constraints import FairnessConstraint, equal_representation
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+from repro.utils.errors import InvalidParameterError
+
+
+def _line_elements(count, group_period=2):
+    return [
+        Element(uid=i, vector=np.array([float(i), 0.0]), group=i % group_period)
+        for i in range(count)
+    ]
+
+
+class TestMeasures:
+    def test_diversity_matches_solution_module(self):
+        elements = _line_elements(5)
+        assert diversity(elements, EuclideanMetric()) == pytest.approx(1.0)
+
+    def test_fairness_violation(self):
+        constraint = FairnessConstraint({0: 1, 1: 1})
+        assert fairness_violation(_line_elements(2), constraint) == 0
+        assert fairness_violation(_line_elements(4), constraint) == 2
+
+    def test_optimum_upper_bound_is_valid(self):
+        elements = _line_elements(12)
+        upper = optimum_upper_bound(elements, EuclideanMetric(), 4)
+        from repro.baselines.exact import exact_dm
+
+        _, optimum = exact_dm(elements, EuclideanMetric(), 4)
+        assert upper >= optimum - 1e-9
+
+    def test_approximation_ratio_lower_bound_in_unit_interval(self):
+        elements = _line_elements(12)
+        ratio = approximation_ratio_lower_bound(1.0, elements, EuclideanMetric(), 4)
+        assert 0.0 < ratio <= 1.0
+
+
+class TestHarness:
+    def test_algorithm_suites(self):
+        names = {spec.name for spec in default_algorithms(include_fair_gmm=True)}
+        assert names == {"GMM", "FairSwap", "FairFlow", "FairGMM", "SFDM1", "SFDM2"}
+        assert {spec.name for spec in streaming_algorithms()} == {"SFDM1", "SFDM2"}
+        assert "FairGMM" not in {spec.name for spec in offline_algorithms()}
+
+    def test_spec_supports_group_limits(self):
+        sfdm1 = next(s for s in streaming_algorithms() if s.name == "SFDM1")
+        assert sfdm1.supports(equal_representation(4, [0, 1]))
+        assert not sfdm1.supports(equal_representation(6, [0, 1, 2]))
+
+    def test_config_resolves_equal_constraint(self):
+        dataset = synthetic_blobs(n=100, m=2, seed=0)
+        config = ExperimentConfig(dataset=dataset, k=6, fairness="equal")
+        constraint = config.resolve_constraint()
+        assert constraint.total_size == 6
+        assert constraint.num_groups == 2
+
+    def test_config_resolves_proportional_constraint(self):
+        dataset = synthetic_blobs(n=200, m=2, seed=0)
+        config = ExperimentConfig(dataset=dataset, k=10, fairness="proportional")
+        assert config.resolve_constraint().total_size == 10
+
+    def test_config_rejects_unknown_fairness(self):
+        dataset = synthetic_blobs(n=50, m=2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(dataset=dataset, k=4, fairness="lexicographic").resolve_constraint()
+
+    def test_run_algorithm_produces_record(self):
+        dataset = synthetic_blobs(n=150, m=2, seed=0)
+        config = ExperimentConfig(dataset=dataset, k=6, repetitions=1)
+        spec = next(s for s in streaming_algorithms() if s.name == "SFDM2")
+        record = run_algorithm(spec, config)
+        assert record.algorithm == "SFDM2"
+        assert record.diversity > 0
+        assert record.stored_elements > 0
+        assert record.failures == 0
+
+    def test_run_algorithm_rejects_unsupported(self):
+        dataset = synthetic_blobs(n=100, m=3, seed=0)
+        config = ExperimentConfig(dataset=dataset, k=6, repetitions=1)
+        sfdm1 = next(s for s in streaming_algorithms() if s.name == "SFDM1")
+        with pytest.raises(InvalidParameterError):
+            run_algorithm(sfdm1, config)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.5}]
+        table = format_table(rows, title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_records_to_rows_projection(self):
+        dataset = synthetic_blobs(n=100, m=2, seed=0)
+        config = ExperimentConfig(dataset=dataset, k=4, repetitions=1)
+        record = run_algorithm(
+            next(s for s in streaming_algorithms() if s.name == "SFDM2"), config
+        )
+        rows = records_to_rows([record], columns=["algorithm", "diversity"])
+        assert list(rows[0].keys()) == ["algorithm", "diversity"]
+
+    def test_write_csv(self, tmp_path):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        path = write_csv(rows, tmp_path / "out" / "table.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "x,y"
+        assert len(content) == 3
+
+    def test_write_csv_empty(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""

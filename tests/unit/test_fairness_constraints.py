@@ -1,0 +1,157 @@
+"""Unit tests for fairness constraints, ER/PR quota rules, and auditing."""
+
+import numpy as np
+import pytest
+
+from repro.fairness.constraints import (
+    FairnessConstraint,
+    audit_fairness,
+    constraint_from_counts,
+    equal_representation,
+    proportional_representation,
+)
+from repro.streaming.element import Element
+from repro.utils.errors import InfeasibleConstraintError, InvalidParameterError
+
+
+def _element(uid, group):
+    return Element(uid=uid, vector=np.array([float(uid)]), group=group)
+
+
+class TestFairnessConstraint:
+    def test_basic_properties(self):
+        constraint = FairnessConstraint({0: 3, 1: 2})
+        assert constraint.total_size == 5
+        assert constraint.num_groups == 2
+        assert constraint.groups == [0, 1]
+        assert constraint.quota(1) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            FairnessConstraint({})
+
+    def test_rejects_non_positive_quota(self):
+        with pytest.raises(InvalidParameterError):
+            FairnessConstraint({0: 0})
+
+    def test_contains(self):
+        constraint = FairnessConstraint({0: 1, 2: 1})
+        assert 0 in constraint
+        assert 1 not in constraint
+
+    def test_equality_and_hash(self):
+        a = FairnessConstraint({0: 2, 1: 3})
+        b = FairnessConstraint({1: 3, 0: 2})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_is_fair(self):
+        constraint = FairnessConstraint({0: 2, 1: 1})
+        fair = [_element(0, 0), _element(1, 0), _element(2, 1)]
+        unfair = [_element(0, 0), _element(1, 1), _element(2, 1)]
+        assert constraint.is_fair(fair)
+        assert not constraint.is_fair(unfair)
+
+    def test_is_fair_rejects_foreign_group(self):
+        constraint = FairnessConstraint({0: 1, 1: 1})
+        assert not constraint.is_fair([_element(0, 0), _element(1, 5)])
+
+    def test_is_independent(self):
+        constraint = FairnessConstraint({0: 2, 1: 1})
+        assert constraint.is_independent([_element(0, 0)])
+        assert constraint.is_independent([_element(0, 0), _element(1, 0)])
+        assert not constraint.is_independent(
+            [_element(0, 0), _element(1, 0), _element(2, 0)]
+        )
+
+    def test_violation(self):
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        elements = [_element(0, 0), _element(1, 0), _element(2, 0), _element(3, 1)]
+        # group 0 has 3 (quota 2) -> +1; group 1 has 1 (quota 2) -> +1
+        assert constraint.violation(elements) == 2
+
+    def test_violation_counts_foreign_elements(self):
+        constraint = FairnessConstraint({0: 1})
+        assert constraint.violation([_element(0, 0), _element(1, 9)]) == 1
+
+    def test_validate_feasible(self):
+        constraint = FairnessConstraint({0: 3, 1: 2})
+        constraint.validate_feasible({0: 10, 1: 2})
+        with pytest.raises(InfeasibleConstraintError):
+            constraint.validate_feasible({0: 10, 1: 1})
+
+    def test_group_counts(self):
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        counts = constraint.group_counts([_element(0, 0), _element(1, 1), _element(2, 7)])
+        assert counts == {0: 1, 1: 1}
+
+
+class TestEqualRepresentation:
+    def test_even_split(self):
+        constraint = equal_representation(10, [0, 1])
+        assert constraint.quotas == {0: 5, 1: 5}
+
+    def test_uneven_split_gives_extras_to_first_groups(self):
+        constraint = equal_representation(10, [0, 1, 2])
+        assert constraint.quotas == {0: 4, 1: 3, 2: 3}
+        assert constraint.total_size == 10
+
+    def test_requires_k_at_least_m(self):
+        with pytest.raises(InvalidParameterError):
+            equal_representation(2, [0, 1, 2])
+
+    def test_deduplicates_groups(self):
+        constraint = equal_representation(4, [1, 1, 0, 0])
+        assert constraint.num_groups == 2
+
+    def test_requires_groups(self):
+        with pytest.raises(InvalidParameterError):
+            equal_representation(4, [])
+
+
+class TestProportionalRepresentation:
+    def test_totals_to_k(self):
+        constraint = proportional_representation(20, {0: 670, 1: 330})
+        assert constraint.total_size == 20
+
+    def test_respects_skew(self):
+        constraint = proportional_representation(20, {0: 670, 1: 330})
+        assert constraint.quota(0) > constraint.quota(1)
+
+    def test_minimum_one_per_group(self):
+        constraint = proportional_representation(10, {0: 10_000, 1: 1})
+        assert constraint.quota(1) >= 1
+
+    def test_rejects_too_small_k(self):
+        with pytest.raises(InvalidParameterError):
+            proportional_representation(2, {0: 5, 1: 5, 2: 5})
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            proportional_representation(4, {0: 0, 1: 5})
+
+    def test_exact_proportions_recovered(self):
+        constraint = proportional_representation(10, {0: 500, 1: 300, 2: 200})
+        assert constraint.quotas == {0: 5, 1: 3, 2: 2}
+
+
+class TestAuditFairness:
+    def test_fair_audit(self):
+        constraint = FairnessConstraint({0: 1, 1: 1})
+        audit = audit_fairness([_element(0, 0), _element(1, 1)], constraint)
+        assert audit.is_fair
+        assert bool(audit)
+        assert audit.violation == 0
+
+    def test_unfair_audit(self):
+        constraint = FairnessConstraint({0: 2, 1: 1})
+        audit = audit_fairness([_element(0, 0), _element(1, 1)], constraint)
+        assert not audit.is_fair
+        assert audit.violation == 1
+        assert audit.counts == {0: 1, 1: 1}
+
+
+class TestConstraintFromCounts:
+    def test_builds_matching_constraint(self):
+        constraint = constraint_from_counts({0: 4, 1: 6})
+        assert constraint.quotas == {0: 4, 1: 6}

@@ -1,0 +1,137 @@
+"""Unit tests for the flow network, Dinic's max-flow, and the assignment helper."""
+
+import pytest
+
+from repro.flow.assignment import solve_cluster_assignment
+from repro.flow.dinic import max_flow
+from repro.flow.network import FlowNetwork
+from repro.utils.errors import InvalidParameterError
+
+
+class TestFlowNetwork:
+    def test_add_edge_creates_nodes(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 3)
+        assert set(network.nodes) == {"s", "t"}
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            FlowNetwork().add_edge("a", "b", -1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(InvalidParameterError):
+            FlowNetwork().add_edge("a", "a", 1)
+
+    def test_push_updates_reverse_edge(self):
+        network = FlowNetwork()
+        network.add_edge("a", "b", 5)
+        edge = network.edges_from("a")[0]
+        network.push(edge, 3)
+        assert edge.flow == 3
+        assert network.reverse_edge(edge).flow == -3
+        assert edge.residual == 2
+
+    def test_push_beyond_residual_raises(self):
+        network = FlowNetwork()
+        network.add_edge("a", "b", 2)
+        edge = network.edges_from("a")[0]
+        with pytest.raises(InvalidParameterError):
+            network.push(edge, 3)
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 7)
+        assert max_flow(network, "s", "t") == 7
+
+    def test_series_edges_bottleneck(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 10)
+        network.add_edge("a", "t", 4)
+        assert max_flow(network, "s", "t") == 4
+
+    def test_parallel_paths(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 3)
+        network.add_edge("a", "t", 3)
+        network.add_edge("s", "b", 2)
+        network.add_edge("b", "t", 2)
+        assert max_flow(network, "s", "t") == 5
+
+    def test_classic_diamond_with_cross_edge(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 10)
+        network.add_edge("s", "b", 10)
+        network.add_edge("a", "b", 1)
+        network.add_edge("a", "t", 8)
+        network.add_edge("b", "t", 10)
+        assert max_flow(network, "s", "t") == 18
+
+    def test_disconnected_sink(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 5)
+        network.add_node("t")
+        assert max_flow(network, "s", "t") == 0
+
+    def test_same_source_and_sink_rejected(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 1)
+        with pytest.raises(InvalidParameterError):
+            max_flow(network, "s", "s")
+
+    def test_unknown_nodes_rejected(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 1)
+        with pytest.raises(InvalidParameterError):
+            max_flow(network, "s", "x")
+
+    def test_flow_conservation(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 4)
+        network.add_edge("s", "b", 3)
+        network.add_edge("a", "t", 2)
+        network.add_edge("a", "b", 2)
+        network.add_edge("b", "t", 5)
+        value = max_flow(network, "s", "t")
+        assert value == 7
+        # Conservation at the interior nodes: inflow equals outflow.
+        for node in ("a", "b"):
+            assert network.flow_into(node) == network.flow_out_of(node)
+
+
+class TestClusterAssignment:
+    def test_perfect_assignment(self):
+        quotas = {0: 1, 1: 1}
+        cluster_groups = [{0}, {1}]
+        value, assignment = solve_cluster_assignment(quotas, cluster_groups)
+        assert value == 2
+        assert assignment[0] == [0]
+        assert assignment[1] == [1]
+
+    def test_shared_cluster_forces_choice(self):
+        quotas = {0: 1, 1: 1}
+        cluster_groups = [{0, 1}]
+        value, assignment = solve_cluster_assignment(quotas, cluster_groups)
+        assert value == 1
+
+    def test_infeasible_partial_assignment(self):
+        quotas = {0: 2, 1: 1}
+        cluster_groups = [{0}, {1}]
+        value, _ = solve_cluster_assignment(quotas, cluster_groups)
+        assert value == 2
+
+    def test_multi_cluster_groups(self):
+        quotas = {0: 2, 1: 2}
+        cluster_groups = [{0}, {0, 1}, {1}, {1}]
+        value, assignment = solve_cluster_assignment(quotas, cluster_groups)
+        assert value == 4
+        used = [c for clusters in assignment.values() for c in clusters]
+        assert len(used) == len(set(used))
+
+    def test_zero_quota_group_ignored(self):
+        quotas = {0: 0, 1: 1}
+        cluster_groups = [{0}, {1}]
+        value, assignment = solve_cluster_assignment(quotas, cluster_groups)
+        assert value == 1
+        assert assignment[0] == []

@@ -1,0 +1,68 @@
+"""Unit tests for the swap-based local-search post-optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.local_search import local_search_improve
+from repro.core.solution import diversity_of
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+from repro.utils.errors import InvalidParameterError
+
+METRIC = EuclideanMetric()
+
+
+def _element(uid, x, group=0):
+    return Element(uid=uid, vector=np.array([float(x), 0.0]), group=group)
+
+
+class TestLocalSearchImprove:
+    def test_never_decreases_diversity(self):
+        rng = np.random.default_rng(0)
+        pool = [_element(i, rng.uniform(0, 100), i % 2) for i in range(40)]
+        constraint = FairnessConstraint({0: 3, 1: 3})
+        start = [e for e in pool if e.group == 0][:3] + [e for e in pool if e.group == 1][:3]
+        before = diversity_of(start, METRIC)
+        improved = local_search_improve(start, pool, METRIC, constraint)
+        assert improved.diversity >= before - 1e-12
+
+    def test_finds_obvious_improvement(self):
+        # Group 0: solution holds two nearly identical points, but a far
+        # replacement exists in the pool.
+        solution = [_element(0, 0.0, 0), _element(1, 0.5, 0), _element(2, 100.0, 1)]
+        pool = solution + [_element(3, 50.0, 0)]
+        constraint = FairnessConstraint({0: 2, 1: 1})
+        improved = local_search_improve(solution, pool, METRIC, constraint)
+        assert improved.diversity > diversity_of(solution, METRIC)
+        assert 3 in improved.uids
+
+    def test_preserves_fairness(self):
+        rng = np.random.default_rng(1)
+        pool = [_element(i, rng.uniform(0, 50), i % 3) for i in range(30)]
+        constraint = FairnessConstraint({0: 2, 1: 2, 2: 2})
+        start = []
+        for group in range(3):
+            start.extend([e for e in pool if e.group == group][:2])
+        improved = local_search_improve(start, pool, METRIC, constraint)
+        assert improved.is_fair
+
+    def test_stops_at_local_optimum(self):
+        # Pool equals the solution: nothing to swap in.
+        solution = [_element(0, 0.0, 0), _element(1, 10.0, 1)]
+        constraint = FairnessConstraint({0: 1, 1: 1})
+        improved = local_search_improve(solution, solution, METRIC, constraint)
+        assert set(improved.uids) == {0, 1}
+
+    def test_iteration_budget_respected(self):
+        rng = np.random.default_rng(2)
+        pool = [_element(i, rng.uniform(0, 100), 0) for i in range(20)]
+        constraint = FairnessConstraint({0: 4})
+        start = pool[:4]
+        improved = local_search_improve(start, pool, METRIC, constraint, max_iterations=1)
+        assert improved.size == 4
+
+    def test_invalid_budget(self):
+        constraint = FairnessConstraint({0: 1})
+        with pytest.raises(InvalidParameterError):
+            local_search_improve([_element(0, 0.0)], [], METRIC, constraint, max_iterations=0)

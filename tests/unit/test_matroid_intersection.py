@@ -1,0 +1,136 @@
+"""Unit tests for the augmentation graph and Cunningham's matroid intersection."""
+
+import numpy as np
+import pytest
+
+from repro.fairness.constraints import FairnessConstraint
+from repro.matroids.cluster import ClusterMatroid
+from repro.matroids.intersection import (
+    AugmentationGraph,
+    greedy_common_independent,
+    intersection_upper_bound,
+    is_common_independent,
+    matroid_intersection,
+)
+from repro.matroids.partition import PartitionMatroid, matroid_from_constraint
+from repro.matroids.uniform import UniformMatroid
+from repro.streaming.element import Element
+from repro.utils.errors import InvalidParameterError
+
+
+def _elements(groups):
+    return [Element(uid=i, vector=np.array([float(i)]), group=g) for i, g in enumerate(groups)]
+
+
+def _partition(ground, period, capacities):
+    return PartitionMatroid(ground, block_of=lambda x: x % period, capacities=capacities)
+
+
+class TestAugmentationGraph:
+    def test_rejects_mismatched_ground_sets(self):
+        with pytest.raises(InvalidParameterError):
+            AugmentationGraph(UniformMatroid(range(3), 2), UniformMatroid(range(4), 2), set())
+
+    def test_rejects_dependent_start(self):
+        m = UniformMatroid(range(5), 1)
+        with pytest.raises(InvalidParameterError):
+            AugmentationGraph(m, m, {0, 1})
+
+    def test_empty_set_has_direct_paths(self):
+        m1 = UniformMatroid(range(3), 2)
+        m2 = UniformMatroid(range(3), 2)
+        graph = AugmentationGraph(m1, m2, set())
+        path = graph.shortest_augmenting_path()
+        assert path is not None
+        assert len(path) == 1  # a -> x -> b
+
+    def test_no_path_when_maximum(self):
+        m1 = UniformMatroid(range(3), 1)
+        m2 = UniformMatroid(range(3), 3)
+        graph = AugmentationGraph(m1, m2, {0})
+        assert graph.shortest_augmenting_path() is None
+
+
+class TestGreedyCommonIndependent:
+    def test_grows_until_blocked(self):
+        m1 = UniformMatroid(range(6), 3)
+        m2 = UniformMatroid(range(6), 4)
+        result = greedy_common_independent(m1, m2)
+        assert len(result) == 3
+        assert is_common_independent(m1, m2, result)
+
+    def test_priority_controls_selection_order(self):
+        m1 = UniformMatroid(range(5), 1)
+        m2 = UniformMatroid(range(5), 1)
+        result = greedy_common_independent(m1, m2, priority=lambda x, s: float(x))
+        assert result == {4}
+
+    def test_rejects_dependent_initial(self):
+        m = UniformMatroid(range(4), 1)
+        with pytest.raises(InvalidParameterError):
+            greedy_common_independent(m, m, initial={0, 1})
+
+    def test_respects_initial(self):
+        m1 = UniformMatroid(range(4), 2)
+        m2 = UniformMatroid(range(4), 2)
+        result = greedy_common_independent(m1, m2, initial={3})
+        assert 3 in result
+        assert len(result) == 2
+
+
+class TestMatroidIntersection:
+    def test_two_uniform_matroids(self):
+        m1 = UniformMatroid(range(10), 4)
+        m2 = UniformMatroid(range(10), 6)
+        result = matroid_intersection(m1, m2)
+        assert len(result) == 4
+
+    def test_partition_vs_uniform(self):
+        m1 = _partition(range(10), 2, {0: 2, 1: 2})
+        m2 = UniformMatroid(range(10), 3)
+        result = matroid_intersection(m1, m2)
+        assert len(result) == 3
+        assert is_common_independent(m1, m2, result)
+
+    def test_needs_augmenting_paths(self):
+        """A case where pure greedy from a bad start is stuck below optimum.
+
+        Ground set {0, 1, 2}; M1 allows at most one of {0, 1} and one of {2};
+        M2 allows at most one of {0, 2} and one of {1}.  Starting from {0}
+        nothing can be added greedily (1 conflicts in M1... actually in M2;
+        2 conflicts in M2... actually in M1), but the optimum {1, 2} has
+        size two, so the algorithm must augment along a path that removes 0.
+        """
+        m1 = PartitionMatroid(range(3), block_of=lambda x: 0 if x in (0, 1) else 1, capacities={0: 1, 1: 1})
+        m2 = PartitionMatroid(range(3), block_of=lambda x: 0 if x in (0, 2) else 1, capacities={0: 1, 1: 1})
+        result = matroid_intersection(m1, m2, initial={0})
+        assert len(result) == 2
+        assert is_common_independent(m1, m2, result)
+
+    def test_reaches_upper_bound_on_transversal_instance(self):
+        elements = _elements([0, 0, 1, 1, 2, 2])
+        constraint = FairnessConstraint({0: 1, 1: 1, 2: 1})
+        fairness = matroid_from_constraint(elements, constraint)
+        clusters = ClusterMatroid([[elements[0], elements[2]], [elements[1]], [elements[3]],
+                                   [elements[4]], [elements[5]]])
+        result = matroid_intersection(fairness, clusters)
+        assert len(result) == min(intersection_upper_bound(fairness, clusters), 3)
+        assert is_common_independent(fairness, clusters, result)
+
+    def test_target_size_stops_early(self):
+        m1 = UniformMatroid(range(10), 8)
+        m2 = UniformMatroid(range(10), 8)
+        result = matroid_intersection(m1, m2, target_size=3)
+        assert len(result) == 3
+
+    def test_empty_ground_set_edge_case(self):
+        m1 = UniformMatroid([], 2)
+        m2 = UniformMatroid([], 2)
+        assert matroid_intersection(m1, m2) == set()
+
+    def test_result_never_exceeds_upper_bound(self):
+        m1 = _partition(range(12), 3, {0: 2, 1: 1, 2: 1})
+        m2 = _partition(range(12), 4, {0: 1, 1: 1, 2: 1, 3: 1})
+        result = matroid_intersection(m1, m2)
+        assert len(result) <= intersection_upper_bound(m1, m2)
+        assert is_common_independent(m1, m2, result)

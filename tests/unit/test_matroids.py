@@ -1,0 +1,164 @@
+"""Unit tests for the matroid classes (uniform, partition, cluster, restriction)."""
+
+import numpy as np
+import pytest
+
+from repro.fairness.constraints import FairnessConstraint
+from repro.matroids.base import RestrictedMatroid
+from repro.matroids.cluster import ClusterMatroid
+from repro.matroids.partition import PartitionMatroid, matroid_from_constraint
+from repro.matroids.uniform import UniformMatroid
+from repro.streaming.element import Element
+from repro.utils.errors import InvalidParameterError
+
+
+def _elements(groups):
+    return [Element(uid=i, vector=np.array([float(i)]), group=g) for i, g in enumerate(groups)]
+
+
+class TestUniformMatroid:
+    def test_independence_by_size(self):
+        matroid = UniformMatroid(range(10), k=3)
+        assert matroid.is_independent({0, 1})
+        assert matroid.is_independent({0, 1, 2})
+        assert not matroid.is_independent({0, 1, 2, 3})
+
+    def test_rejects_items_outside_ground_set(self):
+        matroid = UniformMatroid(range(5), k=3)
+        assert not matroid.is_independent({99})
+
+    def test_empty_set_is_independent(self):
+        assert UniformMatroid(range(3), k=0).is_independent(set())
+
+    def test_full_rank(self):
+        assert UniformMatroid(range(10), k=4).full_rank() == 4
+
+    def test_rank_of_subset(self):
+        matroid = UniformMatroid(range(10), k=4)
+        assert matroid.rank(range(2)) == 2
+        assert matroid.rank(range(8)) == 4
+
+    def test_extend_to_basis(self):
+        matroid = UniformMatroid(range(6), k=3)
+        basis = matroid.extend_to_basis({0})
+        assert len(basis) == 3
+        assert matroid.is_independent(basis)
+
+    def test_can_add(self):
+        matroid = UniformMatroid(range(5), k=2)
+        assert matroid.can_add({0}, 1)
+        assert not matroid.can_add({0, 1}, 2)
+        assert not matroid.can_add({0}, 0)
+
+
+class TestPartitionMatroid:
+    def test_block_capacities(self):
+        matroid = PartitionMatroid(
+            ground_set=range(6),
+            block_of=lambda x: x % 2,
+            capacities={0: 2, 1: 1},
+        )
+        assert matroid.is_independent({0, 2})
+        assert not matroid.is_independent({0, 2, 4})
+        assert matroid.is_independent({0, 1})
+        assert not matroid.is_independent({1, 3})
+
+    def test_default_capacity_zero(self):
+        matroid = PartitionMatroid(
+            ground_set=range(4), block_of=lambda x: x % 2, capacities={0: 2}
+        )
+        assert not matroid.is_independent({1})
+
+    def test_default_capacity_override(self):
+        matroid = PartitionMatroid(
+            ground_set=range(4),
+            block_of=lambda x: x % 2,
+            capacities={0: 1},
+            default_capacity=5,
+        )
+        assert matroid.is_independent({1, 3})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PartitionMatroid(range(3), block_of=lambda x: 0, capacities={0: -1})
+
+    def test_full_rank_sums_capacities(self):
+        matroid = PartitionMatroid(
+            ground_set=range(10), block_of=lambda x: x % 2, capacities={0: 2, 1: 3}
+        )
+        assert matroid.full_rank() == 5
+
+    def test_block_counts(self):
+        matroid = PartitionMatroid(
+            ground_set=range(6), block_of=lambda x: x % 3, capacities={0: 2, 1: 2, 2: 2}
+        )
+        assert matroid.block_counts({0, 1, 3}) == {0: 2, 1: 1}
+
+
+class TestMatroidFromConstraint:
+    def test_matches_constraint_semantics(self):
+        elements = _elements([0, 0, 0, 1, 1])
+        constraint = FairnessConstraint({0: 2, 1: 1})
+        matroid = matroid_from_constraint(elements, constraint)
+        assert matroid.is_independent({elements[0], elements[3]})
+        assert not matroid.is_independent({elements[0], elements[1], elements[2]})
+        assert matroid.full_rank() == 3
+
+    def test_foreign_groups_have_zero_capacity(self):
+        elements = _elements([0, 5])
+        constraint = FairnessConstraint({0: 1})
+        matroid = matroid_from_constraint(elements, constraint)
+        assert not matroid.is_independent({elements[1]})
+
+
+class TestClusterMatroid:
+    def test_at_most_one_per_cluster(self):
+        elements = _elements([0, 0, 1, 1])
+        matroid = ClusterMatroid([[elements[0], elements[1]], [elements[2], elements[3]]])
+        assert matroid.is_independent({elements[0], elements[2]})
+        assert not matroid.is_independent({elements[0], elements[1]})
+
+    def test_num_clusters_is_rank(self):
+        elements = _elements([0, 0, 1])
+        matroid = ClusterMatroid([[elements[0]], [elements[1]], [elements[2]]])
+        assert matroid.num_clusters == 3
+        assert matroid.full_rank() == 3
+
+    def test_cluster_of(self):
+        elements = _elements([0, 1])
+        matroid = ClusterMatroid([[elements[0]], [elements[1]]])
+        assert matroid.cluster_of(elements[1]) == 1
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(InvalidParameterError):
+            ClusterMatroid([[]])
+
+    def test_rejects_duplicate_membership(self):
+        elements = _elements([0])
+        with pytest.raises(InvalidParameterError):
+            ClusterMatroid([[elements[0]], [elements[0]]])
+
+    def test_clusters_property_returns_copies(self):
+        elements = _elements([0, 1])
+        matroid = ClusterMatroid([[elements[0]], [elements[1]]])
+        clusters = matroid.clusters
+        clusters[0].append(elements[1])
+        assert len(matroid.clusters[0]) == 1
+
+
+class TestRestrictedMatroid:
+    def test_restriction_keeps_independence(self):
+        matroid = UniformMatroid(range(10), k=2)
+        restricted = matroid.restricted(range(5))
+        assert restricted.is_independent({0, 1})
+        assert not restricted.is_independent({0, 1, 2})
+
+    def test_restriction_excludes_outside_items(self):
+        matroid = UniformMatroid(range(10), k=2)
+        restricted = matroid.restricted(range(5))
+        assert not restricted.is_independent({7})
+
+    def test_restriction_to_unknown_items_raises(self):
+        matroid = UniformMatroid(range(3), k=2)
+        with pytest.raises(ValueError):
+            RestrictedMatroid(matroid, [99])

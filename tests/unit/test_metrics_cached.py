@@ -1,0 +1,61 @@
+"""Unit tests for the metric decorators (counting and caching)."""
+
+import pytest
+
+from repro.metrics.cached import CachedMetric, CountingMetric
+from repro.metrics.vector import EuclideanMetric
+
+
+class TestCountingMetric:
+    def test_counts_calls(self):
+        metric = CountingMetric(EuclideanMetric())
+        metric.distance([0, 0], [1, 1])
+        metric.distance([0, 0], [2, 2])
+        assert metric.calls == 2
+
+    def test_reset(self):
+        metric = CountingMetric(EuclideanMetric())
+        metric.distance([0], [1])
+        metric.reset()
+        assert metric.calls == 0
+
+    def test_delegates_value(self):
+        inner = EuclideanMetric()
+        metric = CountingMetric(inner)
+        assert metric.distance([0, 0], [3, 4]) == pytest.approx(inner.distance([0, 0], [3, 4]))
+
+    def test_name_mentions_inner(self):
+        assert "euclidean" in CountingMetric(EuclideanMetric()).name
+
+
+class TestCachedMetric:
+    def test_keyed_lookup_hits_cache(self):
+        metric = CachedMetric(EuclideanMetric())
+        first = metric.distance_keyed(1, [0, 0], 2, [1, 1])
+        second = metric.distance_keyed(2, [1, 1], 1, [0, 0])
+        assert first == pytest.approx(second)
+        assert metric.hits == 1
+        assert metric.misses == 1
+
+    def test_same_key_distance_is_zero(self):
+        metric = CachedMetric(EuclideanMetric())
+        assert metric.distance_keyed(5, [1, 2], 5, [1, 2]) == 0.0
+
+    def test_plain_distance_not_cached(self):
+        metric = CachedMetric(EuclideanMetric())
+        metric.distance([0, 0], [1, 1])
+        assert len(metric) == 0
+
+    def test_maxsize_respected(self):
+        metric = CachedMetric(EuclideanMetric(), maxsize=1)
+        metric.distance_keyed(1, [0], 2, [1])
+        metric.distance_keyed(1, [0], 3, [2])
+        assert len(metric) == 1
+
+    def test_clear(self):
+        metric = CachedMetric(EuclideanMetric())
+        metric.distance_keyed(1, [0], 2, [1])
+        metric.clear()
+        assert len(metric) == 0
+        assert metric.hits == 0
+        assert metric.misses == 0

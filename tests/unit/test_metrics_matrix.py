@@ -1,0 +1,60 @@
+"""Unit tests for the precomputed-matrix metric."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.matrix import PrecomputedMetric
+from repro.utils.errors import InvalidParameterError
+
+
+def _valid_matrix():
+    return np.array(
+        [
+            [0.0, 1.0, 2.0],
+            [1.0, 0.0, 1.5],
+            [2.0, 1.5, 0.0],
+        ]
+    )
+
+
+class TestPrecomputedMetric:
+    def test_lookup(self):
+        metric = PrecomputedMetric(_valid_matrix())
+        assert metric.distance(0, 2) == pytest.approx(2.0)
+        assert metric.distance(2, 0) == pytest.approx(2.0)
+
+    def test_size(self):
+        assert PrecomputedMetric(_valid_matrix()).size == 3
+
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidParameterError):
+            PrecomputedMetric(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        matrix = _valid_matrix()
+        matrix[0, 1] = 9.0
+        with pytest.raises(InvalidParameterError):
+            PrecomputedMetric(matrix)
+
+    def test_rejects_nonzero_diagonal(self):
+        matrix = _valid_matrix()
+        matrix[1, 1] = 0.5
+        with pytest.raises(InvalidParameterError):
+            PrecomputedMetric(matrix)
+
+    def test_rejects_negative_entries(self):
+        matrix = _valid_matrix()
+        matrix[0, 1] = matrix[1, 0] = -1.0
+        with pytest.raises(InvalidParameterError):
+            PrecomputedMetric(matrix)
+
+    def test_rejects_out_of_range_index(self):
+        metric = PrecomputedMetric(_valid_matrix())
+        with pytest.raises(InvalidParameterError):
+            metric.distance(0, 5)
+
+    def test_as_array_is_read_only(self):
+        metric = PrecomputedMetric(_valid_matrix())
+        view = metric.as_array()
+        with pytest.raises(ValueError):
+            view[0, 1] = 3.0

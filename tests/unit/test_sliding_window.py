@@ -1,0 +1,89 @@
+"""Unit tests for the sliding-window stream adapter and windowed FDM wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.fairness.constraints import equal_representation
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+from repro.streaming.window import CheckpointedWindowFDM, SlidingWindowStream
+from repro.utils.errors import InvalidParameterError
+
+METRIC = EuclideanMetric()
+
+
+def _elements(count, period=2):
+    return [
+        Element(uid=i, vector=np.array([float(i), 0.0]), group=i % period)
+        for i in range(count)
+    ]
+
+
+class TestSlidingWindowStream:
+    def test_expiry_sequence(self):
+        stream = SlidingWindowStream(_elements(5), window=2)
+        expired_uids = []
+        for element, expired in stream:
+            expired_uids.extend(e.uid for e in expired)
+        # Elements 0, 1, 2 expire while 3 and 4 remain in the final window.
+        assert expired_uids == [0, 1, 2]
+
+    def test_no_expiry_when_window_large(self):
+        stream = SlidingWindowStream(_elements(4), window=10)
+        assert all(not expired for _, expired in stream)
+
+    def test_len(self):
+        assert len(SlidingWindowStream(_elements(7), window=3)) == 7
+
+    def test_invalid_window(self):
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowStream(_elements(3), window=0)
+
+
+class TestCheckpointedWindowFDM:
+    def test_produces_fair_solution(self):
+        constraint = equal_representation(4, [0, 1])
+        algorithm = CheckpointedWindowFDM(METRIC, constraint, window=40, blocks=4)
+        solution = algorithm.run(_elements(100))
+        assert solution is not None
+        assert solution.is_fair
+        assert solution.size == 4
+
+    def test_memory_stays_below_window(self):
+        constraint = equal_representation(4, [0, 1])
+        algorithm = CheckpointedWindowFDM(METRIC, constraint, window=60, blocks=6)
+        for element in _elements(300):
+            algorithm.process(element)
+        assert algorithm.stored_elements < 60
+
+    def test_solution_uses_only_recent_elements(self):
+        """After many elements, expired blocks must not contribute to the pool."""
+        constraint = equal_representation(4, [0, 1])
+        algorithm = CheckpointedWindowFDM(METRIC, constraint, window=20, blocks=4)
+        elements = _elements(200)
+        for element in elements:
+            algorithm.process(element)
+        pool_uids = {e.uid for e in algorithm.candidate_pool()}
+        # Everything older than ~2 windows ago must be gone.
+        assert all(uid >= 140 for uid in pool_uids)
+
+    def test_infeasible_window_returns_none(self):
+        """If the recent window lacks a group entirely, no fair solution exists."""
+        constraint = equal_representation(4, [0, 1])
+        algorithm = CheckpointedWindowFDM(METRIC, constraint, window=10, blocks=2)
+        # Only group-0 elements in the stream tail.
+        elements = _elements(30, period=2)[:20] + [
+            Element(uid=100 + i, vector=np.array([1000.0 + i, 0.0]), group=0) for i in range(30)
+        ]
+        solution = algorithm.run(elements)
+        assert solution is None
+
+    def test_invalid_blocks(self):
+        constraint = equal_representation(4, [0, 1])
+        with pytest.raises(InvalidParameterError):
+            CheckpointedWindowFDM(METRIC, constraint, window=4, blocks=8)
+
+    def test_empty_state_returns_none(self):
+        constraint = equal_representation(4, [0, 1])
+        algorithm = CheckpointedWindowFDM(METRIC, constraint, window=10, blocks=2)
+        assert algorithm.solution() is None

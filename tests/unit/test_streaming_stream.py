@@ -1,0 +1,84 @@
+"""Unit tests for DataStream."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.element import Element
+from repro.streaming.stream import DataStream, stream_from_arrays
+from repro.utils.errors import EmptyStreamError, InvalidParameterError
+
+
+def _elements(count=10):
+    return [Element(uid=i, vector=np.array([float(i)]), group=i % 2) for i in range(count)]
+
+
+class TestDataStream:
+    def test_len(self):
+        assert len(DataStream(_elements(5))) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyStreamError):
+            DataStream([])
+
+    def test_canonical_order_without_seed(self):
+        stream = DataStream(_elements(5))
+        assert [e.uid for e in stream] == [0, 1, 2, 3, 4]
+
+    def test_shuffled_order_with_seed(self):
+        stream = DataStream(_elements(20), shuffle_seed=3)
+        order = [e.uid for e in stream]
+        assert sorted(order) == list(range(20))
+        assert order != list(range(20))
+
+    def test_shuffle_is_reproducible(self):
+        elements = _elements(20)
+        first = [e.uid for e in DataStream(elements, shuffle_seed=9)]
+        second = [e.uid for e in DataStream(elements, shuffle_seed=9)]
+        assert first == second
+
+    def test_multiple_iterations_allowed(self):
+        stream = DataStream(_elements(5), shuffle_seed=1)
+        assert [e.uid for e in stream] == [e.uid for e in stream]
+
+    def test_permuted_view(self):
+        stream = DataStream(_elements(20), shuffle_seed=1)
+        other = stream.permuted(2)
+        assert [e.uid for e in stream] != [e.uid for e in other]
+        assert sorted(e.uid for e in other) == list(range(20))
+
+    def test_take(self):
+        stream = DataStream(_elements(10)).take(3)
+        assert len(stream) == 3
+
+    def test_take_rejects_non_positive(self):
+        with pytest.raises(InvalidParameterError):
+            DataStream(_elements(3)).take(0)
+
+    def test_groups_and_sizes(self):
+        stream = DataStream(_elements(10))
+        assert stream.groups() == [0, 1]
+        assert stream.group_sizes() == {0: 5, 1: 5}
+
+    def test_filter(self):
+        stream = DataStream(_elements(10)).filter(lambda e: e.group == 0)
+        assert all(e.group == 0 for e in stream)
+
+    def test_filter_to_empty_raises(self):
+        with pytest.raises(EmptyStreamError):
+            DataStream(_elements(4)).filter(lambda e: e.group == 99)
+
+
+class TestStreamFromArrays:
+    def test_builds_elements(self):
+        features = np.arange(6, dtype=float).reshape(3, 2)
+        stream = stream_from_arrays(features, groups=[0, 1, 0], name="toy")
+        assert len(stream) == 3
+        assert stream.groups() == [0, 1]
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(InvalidParameterError):
+            stream_from_arrays(np.arange(4, dtype=float), groups=[0, 1, 0, 1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            stream_from_arrays(np.zeros((3, 2)), groups=[0, 1])

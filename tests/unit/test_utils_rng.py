@@ -1,0 +1,62 @@
+"""Unit tests for the RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_from_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_from_int_is_reproducible(self):
+        a = ensure_rng(123).integers(0, 1000, size=5)
+        b = ensure_rng(123).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10_000, size=10)
+        b = ensure_rng(2).integers(0, 10_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        rng = ensure_rng(np.random.SeedSequence(7))
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_are_independent_yet_reproducible(self):
+        first = [rng.integers(0, 1000) for rng in spawn_rngs(42, 3)]
+        second = [rng.integers(0, 1000) for rng in spawn_rngs(42, 3)]
+        assert first == second
+
+    def test_children_differ_from_each_other(self):
+        draws = [int(rng.integers(0, 2**31)) for rng in spawn_rngs(7, 5)]
+        assert len(set(draws)) > 1
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(3), 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_none_stays_none(self):
+        assert derive_seed(None, 5) is None
+
+    def test_deterministic(self):
+        assert derive_seed(10, 3) == derive_seed(10, 3)
+
+    def test_salt_changes_value(self):
+        assert derive_seed(10, 1) != derive_seed(10, 2)

@@ -1,0 +1,82 @@
+"""Unit tests for the wall-clock timers."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import StageTimer, Timer
+
+
+class TestTimer:
+    def test_starts_stopped(self):
+        timer = Timer()
+        assert not timer.running
+        assert timer.elapsed == 0.0
+
+    def test_measures_elapsed_time(self):
+        timer = Timer()
+        timer.start()
+        time.sleep(0.01)
+        elapsed = timer.stop()
+        assert elapsed >= 0.009
+        assert timer.elapsed == elapsed
+
+    def test_accumulates_across_runs(self):
+        timer = Timer()
+        with timer.measure():
+            time.sleep(0.005)
+        first = timer.elapsed
+        with timer.measure():
+            time.sleep(0.005)
+        assert timer.elapsed > first
+
+    def test_double_start_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+        timer.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_context_manager_stops_on_exception(self):
+        timer = Timer()
+        with pytest.raises(ValueError):
+            with timer.measure():
+                raise ValueError("boom")
+        assert not timer.running
+        assert timer.elapsed >= 0.0
+
+
+class TestStageTimer:
+    def test_records_named_stages(self):
+        stages = StageTimer()
+        with stages.stage("stream"):
+            time.sleep(0.002)
+        with stages.stage("postprocess"):
+            time.sleep(0.002)
+        totals = stages.totals()
+        assert set(totals) == {"stream", "postprocess"}
+        assert all(value > 0 for value in totals.values())
+
+    def test_unknown_stage_elapsed_is_zero(self):
+        assert StageTimer().elapsed("missing") == 0.0
+
+    def test_same_stage_accumulates(self):
+        stages = StageTimer()
+        with stages.stage("work"):
+            time.sleep(0.002)
+        first = stages.elapsed("work")
+        with stages.stage("work"):
+            time.sleep(0.002)
+        assert stages.elapsed("work") > first
+
+    def test_total_sums_all_stages(self):
+        stages = StageTimer()
+        with stages.stage("a"):
+            pass
+        with stages.stage("b"):
+            pass
+        assert stages.total() == pytest.approx(stages.elapsed("a") + stages.elapsed("b"))

@@ -1,0 +1,96 @@
+"""Unit tests for argument-validation helpers."""
+
+import pytest
+
+from repro.utils.errors import InvalidParameterError
+from repro.utils.validation import (
+    require,
+    require_in_open_interval,
+    require_non_empty,
+    require_non_negative_int,
+    require_positive_int,
+)
+
+
+class TestRequire:
+    def test_passes_when_condition_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(InvalidParameterError, match="broken"):
+            require(False, "broken")
+
+
+class TestRequirePositiveInt:
+    def test_accepts_positive_integers(self):
+        assert require_positive_int(5, "k") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(0, "k")
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(-3, "k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(True, "k")
+
+    def test_rejects_float(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(2.5, "k")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(InvalidParameterError, match="solution_size"):
+            require_positive_int(-1, "solution_size")
+
+
+class TestRequireNonNegativeInt:
+    def test_accepts_zero(self):
+        assert require_non_negative_int(0, "count") == 0
+
+    def test_accepts_positive(self):
+        assert require_non_negative_int(7, "count") == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            require_non_negative_int(-1, "count")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            require_non_negative_int(False, "count")
+
+
+class TestRequireInOpenInterval:
+    def test_accepts_interior_point(self):
+        assert require_in_open_interval(0.5, 0.0, 1.0, "epsilon") == 0.5
+
+    def test_rejects_lower_boundary(self):
+        with pytest.raises(InvalidParameterError):
+            require_in_open_interval(0.0, 0.0, 1.0, "epsilon")
+
+    def test_rejects_upper_boundary(self):
+        with pytest.raises(InvalidParameterError):
+            require_in_open_interval(1.0, 0.0, 1.0, "epsilon")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(InvalidParameterError):
+            require_in_open_interval("abc", 0.0, 1.0, "epsilon")
+
+    def test_converts_to_float(self):
+        value = require_in_open_interval(1, 0, 2, "x")
+        assert isinstance(value, float)
+
+
+class TestRequireNonEmpty:
+    def test_accepts_non_empty_list(self):
+        assert require_non_empty([1], "items") == [1]
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(InvalidParameterError):
+            require_non_empty([], "items")
+
+    def test_rejects_empty_dict(self):
+        with pytest.raises(InvalidParameterError):
+            require_non_empty({}, "mapping")
