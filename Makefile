@@ -1,0 +1,34 @@
+# Developer entry points. All targets assume the repository root as CWD and
+# use the src layout directly (no install needed).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench-batch docs-check
+
+## Run the full test suite (tier-1 gate).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Small-scale end-to-end benchmark pass: the batch-throughput bench at a
+## reduced n plus one representative figure bench. The full acceptance run
+## (n = 50_000) is `make bench-batch`.
+bench-smoke:
+	REPRO_BENCH_BATCH_N=5000 $(PYTHON) -m pytest benchmarks/bench_batch_throughput.py -q -s
+	REPRO_BENCH_N=500 $(PYTHON) -m pytest benchmarks/bench_fig7_time_vs_k.py -q -s
+
+## Acceptance-scale batch engine benchmark (SFDM2, n = 50_000, >= 5x).
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/bench_batch_throughput.py -q -s
+
+## Docstring completeness gate for the public API.
+##
+## Preferred tool: pydocstyle (numpy convention). It is not available in the
+## pinned offline environment, so the target falls back to
+## tools/check_docstrings.py, which enforces the same core rules (public
+## docstring presence + period-terminated summaries; __init__ exempt per the
+## numpydoc convention) with the standard library only.
+docs-check:
+	@$(PYTHON) -c "import pydocstyle" 2>/dev/null \
+		&& $(PYTHON) -m pydocstyle --convention=numpy src/repro/metrics src/repro/streaming \
+		|| $(PYTHON) tools/check_docstrings.py src/repro

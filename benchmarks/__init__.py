@@ -1,0 +1,5 @@
+"""Benchmark suite reproducing the paper's tables and figures.
+
+Present as a package so ``python -m pytest benchmarks/bench_<name>.py``
+resolves the relative ``conftest`` imports used by every bench module.
+"""

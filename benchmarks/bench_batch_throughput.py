@@ -1,0 +1,109 @@
+"""Batch ingestion throughput — vectorized batch mode vs. element mode.
+
+This bench demonstrates the payoff of the vectorized batch streaming
+engine: SFDM2 run twice over the *same* stream permutation of the paper's
+synthetic Gaussian-blob workload, once with the element-at-a-time updates
+(the paper's pseudocode, scalar Python distance calls) and once with
+``batch_size`` chunks screened by the NumPy distance kernels.
+
+Expected shape: identical solutions (batching only reschedules the
+arithmetic; the accept/reject decisions are the same) and a large wall
+clock gap — the acceptance target for this repository is >= 5x throughput
+at ``n = 50_000, m = 2``.
+
+The instance is deliberately the acceptance-scale one; override with
+``REPRO_BENCH_BATCH_N`` for a quicker smoke run (the speedup shrinks with
+``n`` because the fixed post-processing cost amortizes less).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.sfdm2 import SFDM2
+from repro.datasets.synthetic import synthetic_blobs
+from repro.evaluation.reporting import write_csv
+from repro.fairness.constraints import equal_representation
+
+from .conftest import BENCH_SEED, print_table
+
+#: Acceptance-scale dataset size (override with REPRO_BENCH_BATCH_N).
+BATCH_BENCH_N = int(os.environ.get("REPRO_BENCH_BATCH_N", "50000"))
+#: Chunk size for the batched run (override with REPRO_BENCH_BATCH_SIZE).
+BATCH_SIZE = int(os.environ.get("REPRO_BENCH_BATCH_SIZE", "1024"))
+#: Minimum accepted throughput ratio at acceptance scale.
+TARGET_SPEEDUP = 5.0
+
+K = 20
+M = 2
+EPSILON = 0.1
+
+COLUMNS = [
+    "mode",
+    "n",
+    "diversity",
+    "total_seconds",
+    "stream_seconds",
+    "postprocess_seconds",
+    "throughput_eps",
+]
+
+
+def _run_mode(dataset, constraint, batch_size):
+    """One timed SFDM2 run; returns (RunResult, wall-clock seconds)."""
+    algorithm = SFDM2(
+        metric=dataset.metric,
+        constraint=constraint,
+        epsilon=EPSILON,
+        batch_size=batch_size,
+    )
+    start = time.perf_counter()
+    result = algorithm.run(dataset.stream(seed=BENCH_SEED))
+    return result, time.perf_counter() - start
+
+
+def _sweep():
+    dataset = synthetic_blobs(n=BATCH_BENCH_N, m=M, seed=BENCH_SEED)
+    constraint = equal_representation(K, list(dataset.group_sizes().keys()))
+    element_result, element_seconds = _run_mode(dataset, constraint, batch_size=None)
+    batch_result, batch_seconds = _run_mode(dataset, constraint, batch_size=BATCH_SIZE)
+    rows = []
+    for mode, result, seconds in (
+        ("element", element_result, element_seconds),
+        (f"batch({BATCH_SIZE})", batch_result, batch_seconds),
+    ):
+        rows.append(
+            {
+                "mode": mode,
+                "n": BATCH_BENCH_N,
+                "diversity": result.solution.diversity,
+                "total_seconds": seconds,
+                "stream_seconds": result.stats.stream_seconds,
+                "postprocess_seconds": result.stats.postprocess_seconds,
+                "throughput_eps": BATCH_BENCH_N / max(seconds, 1e-9),
+            }
+        )
+    return rows, element_result, batch_result, element_seconds, batch_seconds
+
+
+def test_batch_throughput(benchmark, results_dir):
+    """Batch-mode SFDM2 matches element mode and is >= 5x faster at 50k points."""
+    rows, element_result, batch_result, element_seconds, batch_seconds = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1
+    )
+    print_table(rows, COLUMNS, title=f"batch vs element ingestion — SFDM2, n={BATCH_BENCH_N}")
+    write_csv(rows, results_dir / "batch_throughput.csv", columns=COLUMNS)
+
+    # Batching must not change the algorithm's output on the same stream order.
+    assert sorted(element_result.solution.uids) == sorted(batch_result.solution.uids)
+    assert element_result.solution.diversity == pytest.approx(batch_result.solution.diversity)
+
+    speedup = element_seconds / max(batch_seconds, 1e-9)
+    print(f"\nthroughput speedup: {speedup:.1f}x (target >= {TARGET_SPEEDUP:g}x)")
+    if BATCH_BENCH_N >= 50_000:
+        assert speedup >= TARGET_SPEEDUP
+    else:  # smoke scale: batching must still win, but the bar is lower
+        assert speedup > 1.0

@@ -73,7 +73,7 @@ from repro.metrics import (
     hamming,
     manhattan,
 )
-from repro.streaming import DataStream, Element, StreamStats, stream_from_arrays
+from repro.streaming import DataStream, Element, StreamStats, iter_batches, stream_from_arrays
 from repro.utils import (
     EmptyStreamError,
     InfeasibleConstraintError,
@@ -132,6 +132,7 @@ __all__ = [
     "Element",
     "DataStream",
     "StreamStats",
+    "iter_batches",
     "stream_from_arrays",
     # errors
     "ReproError",

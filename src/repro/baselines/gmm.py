@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.result import RunResult
 from repro.core.solution import Solution
-from repro.metrics.base import Metric
+from repro.metrics.base import Metric, stack_vectors
 from repro.metrics.cached import CountingMetric
 from repro.streaming.element import Element
 from repro.streaming.stats import StreamStats
@@ -36,7 +38,9 @@ def gmm_elements(
     elements:
         The candidate pool (the full dataset for the offline baseline).
     metric:
-        Distance metric.
+        Distance metric.  Metrics with vectorized kernels update the
+        nearest-to-selection array with one batched ``distances_to`` call
+        per selected element; other metrics use the scalar loop.
     k:
         Number of elements to select (capped at the pool size).
     start_index:
@@ -58,6 +62,8 @@ def gmm_elements(
         raise InvalidParameterError(
             f"start_index {start_index} out of range for a pool of {len(pool)} elements"
         )
+    if metric.supports_batch:
+        return _gmm_elements_batched(pool, metric, k, start_index)
     selected = [pool[start_index]]
     # Maintain, for every pool element, its distance to the current selection.
     nearest = [metric.distance(element.vector, selected[0].vector) for element in pool]
@@ -75,6 +81,31 @@ def gmm_elements(
             d = metric.distance(element.vector, chosen.vector)
             if d < nearest[i]:
                 nearest[i] = d
+    return selected
+
+
+def _gmm_elements_batched(
+    pool: Sequence[Element], metric: Metric, k: int, start_index: int
+) -> List[Element]:
+    """Vectorized farthest-point greedy over an already-filtered pool.
+
+    Selects the same elements as the scalar loop (``np.argmax`` and
+    ``max(key=...)`` both break ties on the first index); selected entries
+    are masked with ``-1`` exactly as the scalar path does.
+    """
+    matrix = stack_vectors(pool)
+    selected = [pool[start_index]]
+    nearest = metric.distances_to(pool[start_index].vector, matrix)
+    nearest[start_index] = -1.0
+    while len(selected) < min(k, len(pool)):
+        best_index = int(np.argmax(nearest))
+        if nearest[best_index] < 0:
+            break
+        chosen = pool[best_index]
+        selected.append(chosen)
+        distances = metric.distances_to(chosen.vector, matrix)
+        np.minimum(nearest, distances, out=nearest)
+        nearest[best_index] = -1.0
     return selected
 
 

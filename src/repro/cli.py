@@ -6,6 +6,11 @@ Run SFDM2 on the Adult (race) surrogate with k = 20::
 
     python -m repro run --dataset adult-race --algorithm SFDM2 -k 20
 
+Run SFDM2 with the vectorized batch ingestion path on a large stream::
+
+    python -m repro run --dataset synthetic-m2 --algorithm SFDM2 -k 20 \
+        --n 50000 --batch-size 1024
+
 Compare every applicable algorithm on a synthetic stream and save a CSV::
 
     python -m repro compare --dataset synthetic-m10 -k 20 --output results.csv
@@ -89,6 +94,15 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--repetitions", type=int, default=1, help="stream permutations to average over"
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "chunk size for the vectorized batch ingestion path of SFDM1/SFDM2 "
+            "(default: element-at-a-time updates)"
+        ),
+    )
 
 
 _COLUMNS = [
@@ -123,9 +137,8 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _make_config(args)
-    spec = next(
-        (s for s in default_algorithms(include_fair_gmm=True) if s.name == args.algorithm), None
-    )
+    algorithms = default_algorithms(include_fair_gmm=True, batch_size=args.batch_size)
+    spec = next((s for s in algorithms if s.name == args.algorithm), None)
     if spec is None:
         print(f"unknown algorithm {args.algorithm}", file=sys.stderr)
         return 2
@@ -138,7 +151,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _make_config(args)
     records = run_experiment(
-        [config], algorithms=default_algorithms(include_fair_gmm=args.include_fair_gmm)
+        [config],
+        algorithms=default_algorithms(
+            include_fair_gmm=args.include_fair_gmm, batch_size=args.batch_size
+        ),
     )
     rows = records_to_rows(records, columns=_COLUMNS)
     print(format_table(rows, columns=_COLUMNS, title=f"comparison on {args.dataset}"))

@@ -5,11 +5,24 @@ A :class:`Candidate` is the greedy set ``S_µ`` of Algorithm 1 for one guess
 element is at distance at least ``µ`` from everything already accepted.  By
 construction the minimum pairwise distance within a candidate is at least
 ``µ`` at all times — an invariant the tests verify directly.
+
+Two update paths exist:
+
+* :meth:`Candidate.offer` — the paper's element-at-a-time rule with an
+  early-exit distance scan;
+* :meth:`Candidate.offer_batch` — the vectorized rule used by the batch
+  ingestion path: a whole chunk of arriving elements is screened against
+  the current members with one batched min-distance computation, and only
+  the survivors (typically few once the candidate fills) are resolved
+  sequentially against each other.  The accepted set is identical to what
+  element-at-a-time offers in the same order would produce.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
 
 from repro.metrics.base import Metric
 from repro.streaming.element import Element
@@ -31,7 +44,7 @@ class Candidate:
         of other groups (used for the group-specific candidates ``S_{µ,i}``).
     """
 
-    __slots__ = ("mu", "capacity", "metric", "group", "_elements")
+    __slots__ = ("mu", "capacity", "metric", "group", "_elements", "_matrix")
 
     def __init__(
         self,
@@ -45,6 +58,9 @@ class Candidate:
         self.metric = metric
         self.group = group
         self._elements: List[Element] = []
+        #: Cached stack of member payloads for the batch path; rebuilt
+        #: lazily after each accepted element.
+        self._matrix: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -68,6 +84,12 @@ class Candidate:
         """Whether the candidate has reached its capacity."""
         return len(self._elements) >= self.capacity
 
+    def member_matrix(self) -> np.ndarray:
+        """The members' payloads stacked into one array (cached between accepts)."""
+        if self._matrix is None:
+            self._matrix = np.asarray([element.vector for element in self._elements])
+        return self._matrix
+
     # ------------------------------------------------------------------
     # Streaming update
     # ------------------------------------------------------------------
@@ -75,6 +97,8 @@ class Candidate:
         """``d(x, S_µ)``; infinity when the candidate is empty."""
         if not self._elements:
             return float("inf")
+        if self.metric.supports_batch and len(self._elements) > 1:
+            return float(self.metric.distances_to(element.vector, self.member_matrix()).min())
         return min(
             self.metric.distance(element.vector, member.vector) for member in self._elements
         )
@@ -101,7 +125,68 @@ class Candidate:
             if distance(vector, member.vector) < self.mu:
                 return False
         self._elements.append(element)
+        self._matrix = None
         return True
+
+    def offer_batch(
+        self, elements: Sequence[Element], vectors: Optional[np.ndarray] = None
+    ) -> int:
+        """Process a chunk of stream elements; return how many were accepted.
+
+        Parameters
+        ----------
+        elements:
+            The chunk, in stream order.  For group-specific candidates the
+            caller is expected to pre-filter by group (cheaper than doing it
+            per guess level); elements of other groups are skipped here as a
+            safety net.
+        vectors:
+            Optional pre-stacked payload matrix aligned with ``elements``
+            (row ``i`` is ``elements[i].vector``); avoids re-stacking the
+            same chunk once per guess level.
+
+        The decision sequence is equivalent to calling :meth:`offer` on each
+        element in order: an element whose distance to the *pre-chunk*
+        members is below ``µ`` can never be accepted later in the chunk
+        (members only accumulate), so the batched pre-screen rejects exactly
+        the elements the scalar rule would; the surviving elements are then
+        resolved sequentially against the members accepted within the chunk.
+        """
+        if self.is_full or not elements:
+            return 0
+        if self.group is not None:
+            kept = [i for i, element in enumerate(elements) if element.group == self.group]
+            if not kept:
+                return 0
+            if len(kept) != len(elements):
+                elements = [elements[i] for i in kept]
+                vectors = None if vectors is None else vectors[kept]
+        if vectors is None:
+            vectors = np.asarray([element.vector for element in elements])
+
+        if self._elements:
+            min_distances = self.metric.pairwise(vectors, self.member_matrix()).min(axis=1)
+            survivor_indices = np.nonzero(min_distances >= self.mu)[0]
+        else:
+            survivor_indices = np.arange(len(elements))
+        if survivor_indices.size == 0:
+            return 0
+
+        accepted = 0
+        new_rows: List[np.ndarray] = []
+        for i in survivor_indices:
+            if self.is_full:
+                break
+            vector = vectors[i]
+            if new_rows:
+                in_chunk = self.metric.distances_to(vector, np.asarray(new_rows))
+                if float(in_chunk.min()) < self.mu:
+                    continue
+            self._elements.append(elements[int(i)])
+            self._matrix = None
+            new_rows.append(vector)
+            accepted += 1
+        return accepted
 
     # ------------------------------------------------------------------
     # Inspection
@@ -110,6 +195,9 @@ class Candidate:
         """Minimum pairwise distance within the candidate (``inf`` if < 2 items)."""
         if len(self._elements) < 2:
             return float("inf")
+        if self.metric.supports_batch:
+            matrix = self.metric.pairwise(self.member_matrix())
+            return float(matrix[np.triu_indices(len(self._elements), k=1)].min())
         best = float("inf")
         for i in range(len(self._elements)):
             for j in range(i + 1, len(self._elements)):

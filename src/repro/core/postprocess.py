@@ -16,15 +16,23 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+import numpy as np
+
 from repro.fairness.constraints import FairnessConstraint
-from repro.metrics.base import Metric
+from repro.metrics.base import Metric, stack_vectors
 from repro.streaming.element import Element
 
 
 def distance_to_set(element: Element, subset: Sequence[Element], metric: Metric) -> float:
-    """``d(x, S)``; infinity for an empty ``S``."""
+    """``d(x, S)``; infinity for an empty ``S``.
+
+    Uses the metric's batched ``distances_to`` kernel when available and
+    ``S`` has more than one member; falls back to the scalar scan otherwise.
+    """
     if not subset:
         return float("inf")
+    if metric.supports_batch and len(subset) > 1:
+        return float(metric.distances_to(element.vector, stack_vectors(subset)).min())
     return min(metric.distance(element.vector, member.vector) for member in subset)
 
 
@@ -141,10 +149,16 @@ def cluster_elements(
         unique.setdefault(element.uid, element)
     items = list(unique.values())
     uf = _UnionFind([element.uid for element in items])
-    for i in range(len(items)):
-        for j in range(i + 1, len(items)):
-            if metric.distance(items[i].vector, items[j].vector) < threshold:
-                uf.union(items[i].uid, items[j].uid)
+    if metric.supports_batch and len(items) > 1:
+        matrix = metric.pairwise(stack_vectors(items))
+        close = np.triu(matrix < threshold, k=1)
+        for i, j in zip(*np.nonzero(close)):
+            uf.union(items[int(i)].uid, items[int(j)].uid)
+    else:
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                if metric.distance(items[i].vector, items[j].vector) < threshold:
+                    uf.union(items[i].uid, items[j].uid)
     clusters: Dict[int, List[Element]] = {}
     for element in items:
         clusters.setdefault(uf.find(element.uid), []).append(element)
@@ -171,6 +185,11 @@ def greedy_fair_fill(
     when the exact post-processing finds no eligible guess (which the paper
     implicitly assumes never happens because ``d_min``/``d_max`` are known
     exactly).
+
+    Metrics with vectorized kernels maintain a nearest-to-selection array
+    over the whole pool (one batched ``distances_to`` per accepted element)
+    instead of rescanning the selection per pool element; the selected set
+    is the same either way.
     """
     selection: List[Element] = list(initial) if initial else []
     selected_uids = {element.uid for element in selection}
@@ -180,6 +199,10 @@ def greedy_fair_fill(
             counts[element.group] += 1
 
     candidates = [element for element in pool if element.uid not in selected_uids]
+    if metric.supports_batch and candidates:
+        return _greedy_fair_fill_batched(
+            candidates, selection, selected_uids, counts, constraint, metric
+        )
     while len(selection) < constraint.total_size:
         eligible = [
             element
@@ -198,4 +221,55 @@ def greedy_fair_fill(
         selected_uids.add(best.uid)
         counts[best.group] += 1
         candidates = [element for element in candidates if element.uid != best.uid]
+    return selection
+
+
+def _greedy_fair_fill_batched(
+    candidates: List[Element],
+    selection: List[Element],
+    selected_uids: Set[int],
+    counts: Dict[int, int],
+    constraint: FairnessConstraint,
+    metric: Metric,
+) -> List[Element]:
+    """Vectorized body of :func:`greedy_fair_fill`.
+
+    Keeps, for every pool candidate, its distance to the current selection
+    in one array and takes the arg-max over the quota-eligible entries each
+    round — the same greedy choice (with the same first-index tie-breaking)
+    as the scalar loop.
+    """
+    matrix = stack_vectors(candidates)
+    pool_groups = np.array([element.group for element in candidates])
+    pool_uids = np.array([element.uid for element in candidates])
+    taken = np.zeros(len(candidates), dtype=bool)
+    if selection:
+        nearest = np.full(len(candidates), np.inf)
+        for member in selection:
+            np.minimum(nearest, metric.distances_to(member.vector, matrix), out=nearest)
+    else:
+        nearest = np.full(len(candidates), np.inf)
+
+    while len(selection) < constraint.total_size:
+        eligible = ~taken
+        for group in counts:
+            if counts[group] >= constraint.quota(group):
+                eligible &= pool_groups != group
+        known_groups = np.isin(pool_groups, list(counts))
+        eligible &= known_groups
+        indices = np.nonzero(eligible)[0]
+        if indices.size == 0:
+            break
+        if selection:
+            best_index = int(indices[np.argmax(nearest[indices])])
+        else:
+            best_index = int(indices[0])
+        best = candidates[best_index]
+        selection.append(best)
+        selected_uids.add(best.uid)
+        counts[best.group] += 1
+        # Mask every pool entry with the selected uid, not just the chosen
+        # index — the scalar path removes all duplicates of the uid too.
+        taken |= pool_uids == best.uid
+        np.minimum(nearest, metric.distances_to(best.vector, matrix), out=nearest)
     return selection

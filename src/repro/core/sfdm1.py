@@ -43,6 +43,10 @@ class SFDM1(StreamingAlgorithm):
         post-processing, a greedy fair selection over all stored elements is
         returned instead of raising.  Set to ``False`` to get the strict
         paper behaviour.
+    batch_size:
+        Optional chunk size for the vectorized batch ingestion path (see
+        :class:`~repro.core.base.StreamingAlgorithm`); ``None`` keeps
+        element-at-a-time updates.
     """
 
     name = "SFDM1"
@@ -55,9 +59,14 @@ class SFDM1(StreamingAlgorithm):
         distance_bounds: Optional[Tuple[float, float]] = None,
         warmup_size: int = 64,
         fallback: bool = True,
+        batch_size: Optional[int] = None,
     ) -> None:
         super().__init__(
-            metric, epsilon=epsilon, distance_bounds=distance_bounds, warmup_size=warmup_size
+            metric,
+            epsilon=epsilon,
+            distance_bounds=distance_bounds,
+            warmup_size=warmup_size,
+            batch_size=batch_size,
         )
         if constraint.num_groups != 2:
             raise InvalidParameterError(
@@ -92,13 +101,7 @@ class SFDM1(StreamingAlgorithm):
                         for group in groups
                     }
                 )
-            for element in self._chain(prefix, rest):
-                stats.elements_processed += 1
-                for index in range(len(ladder)):
-                    blind[index].offer(element)
-                    candidate = specific[index].get(element.group)
-                    if candidate is not None:
-                        candidate.offer(element)
+            self._ingest(self._chain(prefix, rest), blind, specific, stats, counting)
         stream_calls = counting.calls
 
         with stages.stage("postprocess"):

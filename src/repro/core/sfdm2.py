@@ -56,6 +56,10 @@ class SFDM2(StreamingAlgorithm):
         solution.  Setting it to ``False`` disables the diversity-aware
         priority (elements are added in arbitrary order) and is provided
         for the ablation study only.
+    batch_size:
+        Optional chunk size for the vectorized batch ingestion path (see
+        :class:`~repro.core.base.StreamingAlgorithm`); ``None`` keeps
+        element-at-a-time updates.
     """
 
     name = "SFDM2"
@@ -69,9 +73,14 @@ class SFDM2(StreamingAlgorithm):
         warmup_size: int = 64,
         fallback: bool = True,
         greedy_augmentation: bool = True,
+        batch_size: Optional[int] = None,
     ) -> None:
         super().__init__(
-            metric, epsilon=epsilon, distance_bounds=distance_bounds, warmup_size=warmup_size
+            metric,
+            epsilon=epsilon,
+            distance_bounds=distance_bounds,
+            warmup_size=warmup_size,
+            batch_size=batch_size,
         )
         self.constraint = constraint
         self.fallback = bool(fallback)
@@ -99,13 +108,7 @@ class SFDM2(StreamingAlgorithm):
                         for group in groups
                     }
                 )
-            for element in self._chain(prefix, rest):
-                stats.elements_processed += 1
-                for index in range(len(ladder)):
-                    blind[index].offer(element)
-                    candidate = specific[index].get(element.group)
-                    if candidate is not None:
-                        candidate.offer(element)
+            self._ingest(self._chain(prefix, rest), blind, specific, stats, counting)
         stream_calls = counting.calls
 
         with stages.stage("postprocess"):

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.fairness.constraints import FairnessAudit, FairnessConstraint, audit_fairness
-from repro.metrics.base import Metric
+from repro.metrics.base import Metric, stack_vectors
 from repro.streaming.element import Element
 
 
@@ -13,10 +15,14 @@ def diversity_of(elements: Sequence[Element], metric: Metric) -> float:
     """``div(S)``: the minimum pairwise distance within ``elements``.
 
     Returns ``inf`` for fewer than two elements (the empty minimum), which
-    matches the convention used throughout the paper's analysis.
+    matches the convention used throughout the paper's analysis.  Metrics
+    with vectorized kernels evaluate the whole pairwise matrix in one call.
     """
     if len(elements) < 2:
         return float("inf")
+    if metric.supports_batch:
+        matrix = metric.pairwise(stack_vectors(elements))
+        return float(matrix[np.triu_indices(len(elements), k=1)].min())
     best = float("inf")
     for i in range(len(elements)):
         for j in range(i + 1, len(elements)):

@@ -34,6 +34,10 @@ class StreamingDiversityMaximization(StreamingAlgorithm):
     distance_bounds:
         Optional known ``(d_min, d_max)``; estimated from a stream prefix
         when omitted.
+    batch_size:
+        Optional chunk size for the vectorized batch ingestion path (see
+        :class:`~repro.core.base.StreamingAlgorithm`); ``None`` keeps
+        element-at-a-time updates.
     """
 
     name = "StreamingDM"
@@ -45,9 +49,14 @@ class StreamingDiversityMaximization(StreamingAlgorithm):
         epsilon: float = 0.1,
         distance_bounds: Optional[Tuple[float, float]] = None,
         warmup_size: int = 64,
+        batch_size: Optional[int] = None,
     ) -> None:
         super().__init__(
-            metric, epsilon=epsilon, distance_bounds=distance_bounds, warmup_size=warmup_size
+            metric,
+            epsilon=epsilon,
+            distance_bounds=distance_bounds,
+            warmup_size=warmup_size,
+            batch_size=batch_size,
         )
         self.k = require_positive_int(k, "k")
 
@@ -68,10 +77,7 @@ class StreamingDiversityMaximization(StreamingAlgorithm):
             candidates = [
                 Candidate(mu=mu, capacity=self.k, metric=counting) for mu in ladder
             ]
-            for element in self._chain(prefix, rest):
-                stats.elements_processed += 1
-                for candidate in candidates:
-                    candidate.offer(element)
+            self._ingest(self._chain(prefix, rest), candidates, None, stats, counting)
         stream_calls = counting.calls
 
         with stages.stage("postprocess"):

@@ -54,18 +54,27 @@ class AlgorithmSpec:
         return self.max_groups is None or constraint.num_groups <= self.max_groups
 
 
-def _run_sfdm1(
-    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
-) -> RunResult:
-    algorithm = SFDM1(metric=dataset.metric, constraint=constraint, epsilon=epsilon)
-    return algorithm.run(dataset.stream(seed=seed))
+def _make_streaming_runner(algorithm_class, batch_size: Optional[int]) -> AlgorithmRunner:
+    """Runner closure for a streaming algorithm with a fixed ``batch_size``."""
+
+    def _run(
+        dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
+    ) -> RunResult:
+        algorithm = algorithm_class(
+            metric=dataset.metric,
+            constraint=constraint,
+            epsilon=epsilon,
+            batch_size=batch_size,
+        )
+        return algorithm.run(dataset.stream(seed=seed))
+
+    return _run
 
 
-def _run_sfdm2(
-    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
-) -> RunResult:
-    algorithm = SFDM2(metric=dataset.metric, constraint=constraint, epsilon=epsilon)
-    return algorithm.run(dataset.stream(seed=seed))
+#: Element-at-a-time default runners (kept for backwards compatibility with
+#: callers that import them directly).
+_run_sfdm1 = _make_streaming_runner(SFDM1, None)
+_run_sfdm2 = _make_streaming_runner(SFDM2, None)
 
 
 def _run_gmm(
@@ -92,11 +101,30 @@ def _run_fair_gmm(
     return fair_gmm(dataset.elements, dataset.metric, constraint)
 
 
-def streaming_algorithms() -> List[AlgorithmSpec]:
-    """The paper's proposed streaming algorithms."""
+def streaming_algorithms(batch_size: Optional[int] = None) -> List[AlgorithmSpec]:
+    """The paper's proposed streaming algorithms.
+
+    Parameters
+    ----------
+    batch_size:
+        When set, SFDM1 and SFDM2 consume the stream through the vectorized
+        batch ingestion path in chunks of this size; ``None`` (default)
+        keeps the element-at-a-time updates.  Validated here, before any
+        run starts, so a bad value fails loudly instead of being absorbed
+        into the harness's per-repetition failure accounting.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
     return [
-        AlgorithmSpec(name="SFDM1", runner=_run_sfdm1, streaming=True, max_groups=2),
-        AlgorithmSpec(name="SFDM2", runner=_run_sfdm2, streaming=True),
+        AlgorithmSpec(
+            name="SFDM1",
+            runner=_make_streaming_runner(SFDM1, batch_size),
+            streaming=True,
+            max_groups=2,
+        ),
+        AlgorithmSpec(
+            name="SFDM2", runner=_make_streaming_runner(SFDM2, batch_size), streaming=True
+        ),
     ]
 
 
@@ -114,9 +142,22 @@ def offline_algorithms(include_fair_gmm: bool = False) -> List[AlgorithmSpec]:
     return specs
 
 
-def default_algorithms(include_fair_gmm: bool = False) -> List[AlgorithmSpec]:
-    """Offline baselines followed by the streaming algorithms (Table II order)."""
-    return offline_algorithms(include_fair_gmm=include_fair_gmm) + streaming_algorithms()
+def default_algorithms(
+    include_fair_gmm: bool = False, batch_size: Optional[int] = None
+) -> List[AlgorithmSpec]:
+    """Offline baselines followed by the streaming algorithms (Table II order).
+
+    Parameters
+    ----------
+    include_fair_gmm:
+        Also include the enumeration-based FairGMM baseline (small k/m only).
+    batch_size:
+        Forwarded to :func:`streaming_algorithms` to enable the vectorized
+        batch ingestion path for SFDM1/SFDM2.
+    """
+    return offline_algorithms(include_fair_gmm=include_fair_gmm) + streaming_algorithms(
+        batch_size=batch_size
+    )
 
 
 @dataclass

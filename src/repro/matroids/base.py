@@ -93,6 +93,7 @@ class RestrictedMatroid(Matroid):
         self._parent = parent
 
     def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        """Independence in the parent matroid, restricted to this ground set."""
         subset = set(subset)
         if not subset <= self.ground_set:
             return False

@@ -53,6 +53,7 @@ class PartitionMatroid(Matroid):
         return self._block_of(item)
 
     def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        """Whether every block's capacity accommodates its members of ``subset``."""
         subset = set(subset)
         if not subset <= self.ground_set:
             return False

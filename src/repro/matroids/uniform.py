@@ -21,6 +21,7 @@ class UniformMatroid(Matroid):
         self.k = require_non_negative_int(k, "k")
 
     def is_independent(self, subset: Iterable[Hashable]) -> bool:
+        """Whether ``subset`` is within the ground set and has at most ``k`` items."""
         subset = set(subset)
         if not subset <= self.ground_set:
             return False

@@ -6,7 +6,7 @@ the paper does across its four datasets) never requires touching algorithm
 code.
 """
 
-from repro.metrics.base import Metric, CallableMetric
+from repro.metrics.base import Metric, CallableMetric, stack_vectors
 from repro.metrics.vector import (
     EuclideanMetric,
     ManhattanMetric,
@@ -25,7 +25,11 @@ from repro.metrics.vector import (
 )
 from repro.metrics.cached import CachedMetric, CountingMetric
 from repro.metrics.matrix import PrecomputedMetric
-from repro.metrics.space import MetricSpace, pairwise_distances, estimate_distance_bounds
+from repro.metrics.space import (
+    MetricSpace,
+    pairwise_distances,
+    estimate_distance_bounds,
+)
 
 __all__ = [
     "Metric",
@@ -50,4 +54,5 @@ __all__ = [
     "MetricSpace",
     "pairwise_distances",
     "estimate_distance_bounds",
+    "stack_vectors",
 ]

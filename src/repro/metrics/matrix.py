@@ -7,7 +7,7 @@ external source rather than a vector-space formula.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
@@ -28,6 +28,7 @@ class PrecomputedMetric(Metric):
     """
 
     name = "precomputed"
+    supports_batch = True
 
     def __init__(self, matrix: np.ndarray) -> None:
         matrix = np.asarray(matrix, dtype=float)
@@ -49,12 +50,37 @@ class PrecomputedMetric(Metric):
         return self._matrix.shape[0]
 
     def distance(self, x: Any, y: Any) -> float:
+        """Distance between the points indexed by ``x`` and ``y``."""
         i, j = int(x), int(y)
         if not (0 <= i < self.size and 0 <= j < self.size):
             raise InvalidParameterError(
                 f"index out of range for precomputed metric of size {self.size}: ({i}, {j})"
             )
         return float(self._matrix[i, j])
+
+    def _indices(self, X: Any) -> np.ndarray:
+        """Validate and coerce a stack of index payloads to a 1-D int array."""
+        idx = np.asarray(X, dtype=int).ravel()
+        if idx.size and (idx.min() < 0 or idx.max() >= self.size):
+            raise InvalidParameterError(
+                f"index out of range for precomputed metric of size {self.size}"
+            )
+        return idx
+
+    def distances_to(self, point: Any, X: Any) -> np.ndarray:
+        """Distances from the point indexed by ``point`` to the indices in ``X``."""
+        i = int(np.asarray(point).ravel()[0]) if np.ndim(point) else int(point)
+        if not (0 <= i < self.size):
+            raise InvalidParameterError(
+                f"index out of range for precomputed metric of size {self.size}: {i}"
+            )
+        return self._matrix[i, self._indices(X)].astype(float)
+
+    def pairwise(self, X: Any, Y: Optional[Any] = None) -> np.ndarray:
+        """Distance sub-matrix for the index stacks ``X`` and ``Y`` (or ``X, X``)."""
+        rows = self._indices(X)
+        cols = rows if Y is None else self._indices(Y)
+        return self._matrix[np.ix_(rows, cols)].astype(float)
 
     def as_array(self) -> np.ndarray:
         """A read-only view of the underlying matrix."""

@@ -13,7 +13,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.metrics.base import Metric
+from repro.metrics.base import Metric, stack_vectors
 from repro.streaming.element import Element
 from repro.utils.errors import InvalidParameterError
 from repro.utils.rng import ensure_rng
@@ -23,9 +23,16 @@ def pairwise_distances(elements: Sequence[Element], metric: Metric) -> np.ndarra
     """Full symmetric pairwise-distance matrix for ``elements`` under ``metric``.
 
     Quadratic in ``len(elements)``; intended for the offline baselines and
-    for small exact checks, not for full streams.
+    for small exact checks, not for full streams.  Metrics with vectorized
+    kernels (``metric.supports_batch``) are evaluated with one
+    :meth:`~repro.metrics.base.Metric.pairwise` call; other metrics fall
+    back to the scalar loop over the upper triangle.
     """
     n = len(elements)
+    if metric.supports_batch and n:
+        matrix = metric.pairwise(stack_vectors(elements))
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
     matrix = np.zeros((n, n), dtype=float)
     for i in range(n):
         for j in range(i + 1, n):
@@ -40,18 +47,26 @@ def exact_distance_bounds(elements: Sequence[Element], metric: Metric) -> Tuple[
 
     ``d_min`` ignores zero distances between duplicate points so that the
     guess ladder stays meaningful for datasets with repeated rows.
+    Vectorized metrics are evaluated with one batched pairwise call.
     """
     if len(elements) < 2:
         raise InvalidParameterError("need at least two elements to compute distance bounds")
-    d_min = float("inf")
-    d_max = 0.0
-    for i in range(len(elements)):
-        for j in range(i + 1, len(elements)):
-            d = metric.distance(elements[i].vector, elements[j].vector)
-            if d > d_max:
-                d_max = d
-            if 0.0 < d < d_min:
-                d_min = d
+    if metric.supports_batch:
+        matrix = metric.pairwise(stack_vectors(elements))
+        upper = matrix[np.triu_indices(len(elements), k=1)]
+        d_max = float(upper.max()) if upper.size else 0.0
+        positive = upper[upper > 0.0]
+        d_min = float(positive.min()) if positive.size else float("inf")
+    else:
+        d_min = float("inf")
+        d_max = 0.0
+        for i in range(len(elements)):
+            for j in range(i + 1, len(elements)):
+                d = metric.distance(elements[i].vector, elements[j].vector)
+                if d > d_max:
+                    d_max = d
+                if 0.0 < d < d_min:
+                    d_min = d
     if not np.isfinite(d_min):
         # All points identical: fall back to an arbitrary positive value so
         # downstream code does not divide by zero; any solution is optimal.
@@ -117,6 +132,8 @@ class MetricSpace:
         """``d(x, S) = min_{y in S} d(x, y)``; ``inf`` for an empty ``S``."""
         if not subset:
             return float("inf")
+        if self.metric.supports_batch and len(subset) > 1:
+            return float(self.metric.distances_to(x.vector, stack_vectors(subset)).min())
         return min(self.metric.distance(x.vector, y.vector) for y in subset)
 
     def diversity(self, subset: Sequence[Element]) -> float:
@@ -127,6 +144,9 @@ class MetricSpace:
         """
         if len(subset) < 2:
             return float("inf")
+        if self.metric.supports_batch:
+            matrix = self.metric.pairwise(stack_vectors(subset))
+            return float(matrix[np.triu_indices(len(subset), k=1)].min())
         best = float("inf")
         for i in range(len(subset)):
             for j in range(i + 1, len(subset)):

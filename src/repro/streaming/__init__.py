@@ -1,13 +1,14 @@
 """Streaming substrate: elements, one-pass data streams, and accounting."""
 
 from repro.streaming.element import Element
-from repro.streaming.stream import DataStream, stream_from_arrays
+from repro.streaming.stream import DataStream, iter_batches, stream_from_arrays
 from repro.streaming.stats import StreamStats
 from repro.streaming.window import CheckpointedWindowFDM, SlidingWindowStream
 
 __all__ = [
     "Element",
     "DataStream",
+    "iter_batches",
     "stream_from_arrays",
     "StreamStats",
     "SlidingWindowStream",

@@ -4,6 +4,12 @@ A :class:`DataStream` is a restartable source of :class:`Element` objects.
 "Restartable" means the *experiment harness* can run several algorithms or
 repetitions over the same logical dataset; each individual algorithm still
 consumes the stream in a single pass and never indexes back into it.
+
+Streams can also be consumed in *batches* (:meth:`DataStream.batches`, or
+:func:`iter_batches` for arbitrary element iterables): contiguous chunks of
+the same one-pass order, which the batched ingestion path of the streaming
+algorithms screens with one vectorized distance computation per guess level
+instead of per-element Python loops.
 """
 
 from __future__ import annotations
@@ -15,6 +21,37 @@ import numpy as np
 from repro.streaming.element import Element
 from repro.utils.errors import EmptyStreamError, InvalidParameterError
 from repro.utils.rng import ensure_rng
+
+
+def iter_batches(elements: Iterable[Element], size: int) -> Iterator[List[Element]]:
+    """Yield consecutive chunks of ``elements`` with at most ``size`` items.
+
+    Parameters
+    ----------
+    elements:
+        Any iterable of elements (a :class:`DataStream`, a generator, ...).
+        It is consumed exactly once, in order; concatenating the yielded
+        chunks reproduces the original sequence.
+    size:
+        Maximum chunk length; must be positive (validated eagerly, at the
+        call site, not on first iteration).  The final chunk may be
+        shorter.  Empty inputs yield no chunks.
+    """
+    if size <= 0:
+        raise InvalidParameterError(f"batch size must be positive, got {size}")
+    return _iter_batches(elements, size)
+
+
+def _iter_batches(elements: Iterable[Element], size: int) -> Iterator[List[Element]]:
+    """Generator body of :func:`iter_batches` (arguments already validated)."""
+    chunk: List[Element] = []
+    for element in elements:
+        chunk.append(element)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 class DataStream:
@@ -53,6 +90,21 @@ class DataStream:
         rng = ensure_rng(self.shuffle_seed)
         order = rng.permutation(len(self._elements))
         return iter([self._elements[int(i)] for i in order])
+
+    def batches(self, size: int) -> Iterator[List[Element]]:
+        """Iterate the stream in consecutive chunks of at most ``size`` elements.
+
+        Parameters
+        ----------
+        size:
+            Maximum chunk length; must be positive.
+
+        The chunking respects the stream's shuffle order: concatenating the
+        chunks yields exactly the sequence ``iter(self)`` would produce, so
+        batch-mode consumers see the same one-pass element order as
+        element-mode consumers.
+        """
+        return iter_batches(iter(self), size)
 
     def elements(self) -> List[Element]:
         """The elements in canonical (unshuffled) order, as a new list."""

@@ -1,0 +1,138 @@
+"""Batch-mode and element-mode streaming runs must produce identical output.
+
+The vectorized batch ingestion path only reschedules the arithmetic of the
+paper's update rule — every accept/reject decision is the same as the
+element-at-a-time path on the same stream order.  These tests pin that
+equivalence end-to-end for all three streaming algorithms and for the
+vectorized offline helpers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gmm import gmm_elements
+from repro.core.candidate import Candidate
+from repro.core.postprocess import greedy_fair_fill
+from repro.core.sfdm1 import SFDM1
+from repro.core.sfdm2 import SFDM2
+from repro.core.streaming_dm import StreamingDiversityMaximization
+from repro.datasets.synthetic import synthetic_blobs
+from repro.fairness.constraints import equal_representation
+from repro.metrics.base import CallableMetric
+from repro.metrics.vector import EuclideanMetric
+from repro.streaming.element import Element
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_blobs(n=1_500, m=2, seed=11)
+
+
+@pytest.fixture(scope="module")
+def constraint(dataset):
+    return equal_representation(8, list(dataset.group_sizes().keys()))
+
+
+def _scalar_euclidean():
+    """The Euclidean formula without batch kernels (forces the scalar path)."""
+    inner = EuclideanMetric()
+    return CallableMetric(inner.distance, name="scalar-euclidean")
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("batch_size", [64, 256, 1_024])
+    def test_sfdm2_batch_matches_element(self, dataset, constraint, batch_size):
+        element = SFDM2(metric=dataset.metric, constraint=constraint).run(dataset.stream(seed=1))
+        batch = SFDM2(
+            metric=dataset.metric, constraint=constraint, batch_size=batch_size
+        ).run(dataset.stream(seed=1))
+        assert sorted(element.solution.uids) == sorted(batch.solution.uids)
+        assert element.solution.diversity == pytest.approx(batch.solution.diversity)
+
+    def test_sfdm1_batch_matches_element(self, dataset, constraint):
+        element = SFDM1(metric=dataset.metric, constraint=constraint).run(dataset.stream(seed=2))
+        batch = SFDM1(metric=dataset.metric, constraint=constraint, batch_size=128).run(
+            dataset.stream(seed=2)
+        )
+        assert sorted(element.solution.uids) == sorted(batch.solution.uids)
+        assert element.solution.diversity == pytest.approx(batch.solution.diversity)
+
+    def test_streaming_dm_batch_matches_element(self, dataset):
+        element = StreamingDiversityMaximization(metric=dataset.metric, k=6).run(
+            dataset.stream(seed=3)
+        )
+        batch = StreamingDiversityMaximization(
+            metric=dataset.metric, k=6, batch_size=200
+        ).run(dataset.stream(seed=3))
+        assert sorted(element.solution.uids) == sorted(batch.solution.uids)
+
+    def test_batch_mode_recorded_in_stats(self, dataset, constraint):
+        result = SFDM2(
+            metric=dataset.metric, constraint=constraint, batch_size=256
+        ).run(dataset.stream(seed=4))
+        assert result.stats.extra.get("batch_size") == 256.0
+
+    def test_scalar_metric_falls_back_silently(self, dataset, constraint):
+        """A batch_size with a kernel-less metric must still work (scalar path)."""
+        metric = _scalar_euclidean()
+        element = SFDM2(metric=metric, constraint=constraint).run(dataset.stream(seed=5))
+        batch = SFDM2(metric=metric, constraint=constraint, batch_size=128).run(
+            dataset.stream(seed=5)
+        )
+        assert sorted(element.solution.uids) == sorted(batch.solution.uids)
+        # The fallback never enters the batched path, so it is not recorded.
+        assert "batch_size" not in batch.stats.extra
+
+    def test_invalid_batch_size_rejected(self, dataset, constraint):
+        with pytest.raises(InvalidParameterError):
+            SFDM2(metric=dataset.metric, constraint=constraint, batch_size=0)
+
+
+class TestCandidateOfferBatch:
+    def _elements(self):
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(200, 3))
+        return [Element(uid=i, vector=points[i], group=i % 2) for i in range(len(points))]
+
+    def test_matches_sequential_offers(self):
+        elements = self._elements()
+        metric = EuclideanMetric()
+        sequential = Candidate(mu=1.5, capacity=10, metric=metric)
+        for element in elements:
+            sequential.offer(element)
+        batched = Candidate(mu=1.5, capacity=10, metric=metric)
+        accepted = 0
+        for start in range(0, len(elements), 32):
+            accepted += batched.offer_batch(elements[start : start + 32])
+        assert [e.uid for e in batched] == [e.uid for e in sequential]
+        assert accepted == len(sequential)
+
+    def test_group_restriction(self):
+        elements = self._elements()
+        metric = EuclideanMetric()
+        candidate = Candidate(mu=0.5, capacity=5, metric=metric, group=1)
+        candidate.offer_batch(elements[:64])
+        assert all(element.group == 1 for element in candidate)
+
+    def test_full_candidate_rejects_batch(self):
+        elements = self._elements()
+        metric = EuclideanMetric()
+        candidate = Candidate(mu=0.0001, capacity=3, metric=metric)
+        candidate.offer_batch(elements[:10])
+        assert len(candidate) == 3
+        assert candidate.offer_batch(elements[10:20]) == 0
+
+
+class TestOfflineHelpersEquivalence:
+    def test_gmm_batched_matches_scalar(self, dataset):
+        pool = dataset.elements[:400]
+        fast = gmm_elements(pool, EuclideanMetric(), k=12)
+        slow = gmm_elements(pool, _scalar_euclidean(), k=12)
+        assert [e.uid for e in fast] == [e.uid for e in slow]
+
+    def test_greedy_fair_fill_batched_matches_scalar(self, dataset, constraint):
+        pool = dataset.elements[:300]
+        fast = greedy_fair_fill(pool, constraint, EuclideanMetric())
+        slow = greedy_fair_fill(pool, constraint, _scalar_euclidean())
+        assert [e.uid for e in fast] == [e.uid for e in slow]

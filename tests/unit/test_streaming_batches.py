@@ -1,0 +1,61 @@
+"""Unit tests for the stream batching helpers."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.element import Element
+from repro.streaming.stream import DataStream, iter_batches
+from repro.utils.errors import InvalidParameterError
+
+
+def _elements(count=10):
+    return [Element(uid=i, vector=np.array([float(i)]), group=i % 2) for i in range(count)]
+
+
+class TestIterBatches:
+    def test_even_split(self):
+        chunks = list(iter_batches(_elements(9), 3))
+        assert [len(chunk) for chunk in chunks] == [3, 3, 3]
+
+    def test_ragged_tail(self):
+        chunks = list(iter_batches(_elements(10), 4))
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+
+    def test_concatenation_preserves_order(self):
+        elements = _elements(17)
+        flat = [e.uid for chunk in iter_batches(elements, 5) for e in chunk]
+        assert flat == [e.uid for e in elements]
+
+    def test_size_larger_than_input(self):
+        chunks = list(iter_batches(_elements(3), 100))
+        assert len(chunks) == 1 and len(chunks[0]) == 3
+
+    def test_empty_input(self):
+        assert list(iter_batches([], 4)) == []
+
+    def test_works_on_generators(self):
+        generator = (element for element in _elements(6))
+        assert [len(c) for c in iter_batches(generator, 4)] == [4, 2]
+
+    @pytest.mark.parametrize("size", [0, -1])
+    def test_invalid_size_rejected(self, size):
+        with pytest.raises(InvalidParameterError):
+            list(iter_batches(_elements(3), size))
+
+
+class TestDataStreamBatches:
+    def test_respects_canonical_order(self):
+        stream = DataStream(_elements(8))
+        flat = [e.uid for chunk in stream.batches(3) for e in chunk]
+        assert flat == list(range(8))
+
+    def test_respects_shuffle_order(self):
+        stream = DataStream(_elements(30), shuffle_seed=13)
+        flat = [e.uid for chunk in stream.batches(7) for e in chunk]
+        assert flat == [e.uid for e in stream]
+
+    def test_restartable(self):
+        stream = DataStream(_elements(12), shuffle_seed=2)
+        first = [e.uid for chunk in stream.batches(5) for e in chunk]
+        second = [e.uid for chunk in stream.batches(5) for e in chunk]
+        assert first == second

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Docstring completeness gate for the public API (pydocstyle fallback).
+
+The docs policy for this repository is: every public module, class,
+function, and method in ``repro.metrics`` and ``repro.streaming`` (and any
+other path passed on the command line) carries a docstring whose first
+line is a one-line summary ending in a period.
+
+CI environments that have ``pydocstyle`` installed should prefer
+``python -m pydocstyle <paths>`` (the ``docs-check`` make target tries it
+first); this script is the dependency-free fallback enforcing the same
+core rules with the standard library only:
+
+* D100/D101/D102/D103-style presence checks for public objects;
+* D400-style "first line ends with a period";
+* private and dunder definitions (including ``__init__``) are exempt, as
+  are test files — this repository follows the numpydoc convention of
+  documenting constructor parameters in the class docstring, matching
+  ``pydocstyle --convention=numpy`` (which likewise skips D107).
+
+Exit status is the number of violations (0 = clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Paths checked when none are given on the command line.
+DEFAULT_PATHS = ("src/repro/metrics", "src/repro/streaming")
+
+
+def _is_public(name: str) -> bool:
+    """Whether a definition name is part of the public API surface."""
+    return not name.startswith("_")
+
+
+def _first_line_ok(docstring: str) -> bool:
+    """Whether the docstring's first line is a period-terminated summary."""
+    first = docstring.strip().splitlines()[0].strip()
+    return first.endswith((".", "::"))
+
+
+def _walk_definitions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.AST, bool]]:
+    """Yield ``(qualified_name, node, is_public)`` for every def/class."""
+    stack: List[Tuple[ast.AST, str, bool]] = [(tree, "", True)]
+    while stack:
+        node, prefix, parent_public = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = f"{prefix}{child.name}"
+                public = parent_public and _is_public(child.name)
+                yield name, child, public
+                stack.append((child, f"{name}.", public))
+
+
+def check_file(path: Path) -> List[str]:
+    """Return the list of violations for one Python source file."""
+    violations: List[str] = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+
+    module_doc = ast.get_docstring(tree)
+    if module_doc is None:
+        violations.append(f"{path}:1: missing module docstring")
+    elif not _first_line_ok(module_doc):
+        violations.append(f"{path}:1: module docstring summary must end with a period")
+
+    for name, node, public in _walk_definitions(tree):
+        if not public:
+            continue
+        kind = "class" if isinstance(node, ast.ClassDef) else "function"
+        doc = ast.get_docstring(node)
+        if doc is None:
+            violations.append(f"{path}:{node.lineno}: missing docstring on {kind} {name}")
+        elif not _first_line_ok(doc):
+            violations.append(
+                f"{path}:{node.lineno}: docstring summary of {kind} {name} "
+                f"must end with a period"
+            )
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    """Check every ``.py`` file under the given paths; print violations."""
+    roots = [Path(p) for p in (argv or list(DEFAULT_PATHS))]
+    files: List[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.py")))
+    all_violations: List[str] = []
+    for path in files:
+        if path.name.startswith("test_"):
+            continue
+        all_violations.extend(check_file(path))
+    for violation in all_violations:
+        print(violation)
+    print(f"{len(files)} files checked, {len(all_violations)} violation(s)")
+    return min(len(all_violations), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
