@@ -4,22 +4,31 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-batch docs-check
+.PHONY: test bench-smoke bench-batch bench-parallel docs-check ci
 
 ## Run the full test suite (tier-1 gate).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Small-scale end-to-end benchmark pass: the batch-throughput bench at a
-## reduced n plus one representative figure bench. The full acceptance run
-## (n = 50_000) is `make bench-batch`.
+## Small-scale end-to-end benchmark pass: the batch-throughput and
+## parallel-scaling benches at a reduced n plus one representative figure
+## bench. The full acceptance runs are `make bench-batch` and
+## `make bench-parallel`.
 bench-smoke:
 	REPRO_BENCH_BATCH_N=5000 $(PYTHON) -m pytest benchmarks/bench_batch_throughput.py -q -s
+	REPRO_BENCH_PARALLEL_N=4000 $(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py -q -s
 	REPRO_BENCH_N=500 $(PYTHON) -m pytest benchmarks/bench_fig7_time_vs_k.py -q -s
 
 ## Acceptance-scale batch engine benchmark (SFDM2, n = 50_000, >= 5x).
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/bench_batch_throughput.py -q -s
+
+## Acceptance-scale parallel engine benchmark (ParallelFDM, n = 100_000,
+## serial vs thread vs process at 4 shards plus a shard-count scan; the
+## >= 2.5x process-over-serial assertion applies on machines with >= 4
+## usable cores).
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py -q -s
 
 ## Docstring completeness gate for the public API.
 ##
@@ -32,3 +41,7 @@ docs-check:
 	@$(PYTHON) -c "import pydocstyle" 2>/dev/null \
 		&& $(PYTHON) -m pydocstyle --convention=numpy src/repro/metrics src/repro/streaming \
 		|| $(PYTHON) tools/check_docstrings.py src/repro
+
+## One-command PR gate: tests, docstring completeness, and the smoke-scale
+## benchmark pass.
+ci: test docs-check bench-smoke

@@ -28,7 +28,7 @@ from repro.datasets.synthetic import synthetic_blobs
 from repro.evaluation.reporting import write_csv
 from repro.fairness.constraints import equal_representation
 
-from .conftest import BENCH_SEED, print_table
+from .conftest import BENCH_SEED, print_table, scaled_csv_name
 
 #: Acceptance-scale dataset size (override with REPRO_BENCH_BATCH_N).
 BATCH_BENCH_N = int(os.environ.get("REPRO_BENCH_BATCH_N", "50000"))
@@ -95,7 +95,11 @@ def test_batch_throughput(benchmark, results_dir):
         _sweep, rounds=1, iterations=1
     )
     print_table(rows, COLUMNS, title=f"batch vs element ingestion — SFDM2, n={BATCH_BENCH_N}")
-    write_csv(rows, results_dir / "batch_throughput.csv", columns=COLUMNS)
+    write_csv(
+        rows,
+        results_dir / scaled_csv_name("batch_throughput", BATCH_BENCH_N, 50_000),
+        columns=COLUMNS,
+    )
 
     # Batching must not change the algorithm's output on the same stream order.
     assert sorted(element_result.solution.uids) == sorted(batch_result.solution.uids)

@@ -17,7 +17,7 @@ import pytest
 from repro.evaluation.harness import ExperimentConfig, default_algorithms, run_experiment
 from repro.evaluation.reporting import records_to_rows, write_csv
 
-from .conftest import BENCH_REPS, BENCH_SEED, bench_dataset, print_table
+from .conftest import BENCH_N, BENCH_REPS, BENCH_SEED, bench_dataset, print_table, scaled_csv_name
 
 PANELS = [
     ("adult-sex", (10, 20, 30)),
@@ -45,7 +45,11 @@ def test_fig7_time_panel(benchmark, results_dir, name, ks):
     records = benchmark.pedantic(_run_panel, args=(name, ks), rounds=1, iterations=1)
     rows = records_to_rows(records, columns=COLUMNS)
     print_table(rows, COLUMNS, title=f"Figure 7 — {name} (time vs k)")
-    write_csv(rows, results_dir / f"fig7_{name}.csv", columns=COLUMNS)
+    write_csv(
+        rows,
+        results_dir / scaled_csv_name(f"fig7_{name}", BENCH_N, 1000),
+        columns=COLUMNS,
+    )
 
     # Shape check: every measurement is positive and each algorithm's time
     # grows (weakly) from the smallest to the largest k.

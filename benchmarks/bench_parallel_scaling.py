@@ -1,0 +1,182 @@
+"""Sharded parallel engine — throughput vs. shard count and backend.
+
+Two measurements on the paper's synthetic Gaussian-blob workload scaled to
+``n = 100 000`` points (override with ``REPRO_BENCH_PARALLEL_N``):
+
+1. **Backend comparison** at 4 shards: the same ``ParallelFDM``
+   configuration run on the serial, thread, and process backends.  The
+   solutions must be identical across backends — the engine guarantees
+   the backend only decides *where* shard summaries run, never *what*
+   they compute.  On a machine with at least 4 usable cores the process
+   backend must deliver at least 2.5x the serial throughput (the
+   acceptance target); on smaller machines the speedup is reported but
+   not asserted, because process parallelism cannot beat a single shared
+   core.
+
+2. **Shard scaling** on the serial backend (1, 2, 4, 8 shards): how the
+   work decomposes as shards shrink, and that solution quality stays in
+   the composable-coreset regime while shards multiply.
+
+The per-shard summarizer is the one-pass ``StreamShardSummarizer`` (the
+``Candidate.offer_batch`` chunk kernel over an ``epsilon = 0.15`` guess
+ladder) — the configuration whose per-shard cost is dominated by genuine
+summary work rather than by driver-side planning, i.e. the regime
+sharding is designed for.  The local-search polish is disabled so the
+timed run is the distributed pipeline itself, not the final-solution
+cosmetics.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.datasets.synthetic import synthetic_blobs
+from repro.evaluation.reporting import write_csv
+from repro.fairness.constraints import equal_representation
+from repro.parallel import ParallelFDM
+from repro.parallel.backends import usable_cpus
+from repro.parallel.summarize import StreamShardSummarizer
+
+from .conftest import BENCH_SEED, print_table, scaled_csv_name
+
+#: Acceptance-scale dataset size (override with REPRO_BENCH_PARALLEL_N).
+PARALLEL_BENCH_N = int(os.environ.get("REPRO_BENCH_PARALLEL_N", "100000"))
+#: Feature dimensionality of the synthetic workload.
+PARALLEL_BENCH_D = int(os.environ.get("REPRO_BENCH_PARALLEL_D", "16"))
+#: Shard count for the backend comparison.
+SHARDS = int(os.environ.get("REPRO_BENCH_PARALLEL_SHARDS", "4"))
+#: Minimum accepted process/serial throughput ratio at acceptance scale.
+TARGET_SPEEDUP = 2.5
+
+K = 48
+M = 2
+
+COLUMNS = [
+    "backend",
+    "shards",
+    "n",
+    "diversity",
+    "total_seconds",
+    "stream_seconds",
+    "postprocess_seconds",
+    "throughput_eps",
+]
+
+
+def _engine(dataset, constraint, shards, backend):
+    """The benchmarked engine configuration on one backend."""
+    return ParallelFDM(
+        metric=dataset.metric,
+        constraint=constraint,
+        shards=shards,
+        backend=backend,
+        summarizer=StreamShardSummarizer(chunk_size=512, epsilon=0.15),
+        refine_with_swap=False,
+        seed=BENCH_SEED,
+    )
+
+
+def _timed_run(dataset, constraint, shards, backend):
+    """One timed run; returns (RunResult, wall-clock seconds)."""
+    engine = _engine(dataset, constraint, shards, backend)
+    start = time.perf_counter()
+    result = engine.run(dataset.stream(seed=BENCH_SEED))
+    return result, time.perf_counter() - start
+
+
+def _row(backend, shards, result, seconds):
+    return {
+        "backend": backend,
+        "shards": shards,
+        "n": PARALLEL_BENCH_N,
+        "diversity": result.solution.diversity,
+        "total_seconds": seconds,
+        "stream_seconds": result.stats.stream_seconds,
+        "postprocess_seconds": result.stats.postprocess_seconds,
+        "throughput_eps": PARALLEL_BENCH_N / max(seconds, 1e-9),
+    }
+
+
+def test_parallel_backend_throughput(benchmark, results_dir):
+    """Identical solutions on every backend; >= 2.5x process speedup on >= 4 cores."""
+    dataset = synthetic_blobs(
+        n=PARALLEL_BENCH_N, m=M, dimensions=PARALLEL_BENCH_D, seed=BENCH_SEED
+    )
+    constraint = equal_representation(K, list(dataset.group_sizes().keys()))
+
+    def _sweep():
+        return {
+            backend: _timed_run(dataset, constraint, SHARDS, backend)
+            for backend in ("serial", "thread", "process")
+        }
+
+    outcomes = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        _row(backend, SHARDS, result, seconds)
+        for backend, (result, seconds) in outcomes.items()
+    ]
+    print_table(
+        rows,
+        COLUMNS,
+        title=f"ParallelFDM backends — {SHARDS} shards, n={PARALLEL_BENCH_N}",
+    )
+    write_csv(
+        rows,
+        results_dir / scaled_csv_name("parallel_backends", PARALLEL_BENCH_N, 100_000),
+        columns=COLUMNS,
+    )
+
+    # The backend must never change the computed solution.
+    serial_result, serial_seconds = outcomes["serial"]
+    reference = sorted(serial_result.solution.uids)
+    for backend, (result, _) in outcomes.items():
+        assert sorted(result.solution.uids) == reference, f"{backend} diverged"
+
+    _, process_seconds = outcomes["process"]
+    speedup = serial_seconds / max(process_seconds, 1e-9)
+    cpus = usable_cpus()
+    print(
+        f"\nprocess/serial speedup: {speedup:.2f}x on {cpus} usable cpu(s) "
+        f"(target >= {TARGET_SPEEDUP:g}x on >= 4 cpus)"
+    )
+    if cpus >= 4 and PARALLEL_BENCH_N >= 100_000:
+        assert speedup >= TARGET_SPEEDUP
+    # On fewer cores true CPU parallelism is unavailable; the run above
+    # still validates cross-backend solution identity at full scale.
+
+
+def test_parallel_shard_scaling(benchmark, results_dir):
+    """Serial-backend scan over shard counts: same pipeline, finer partitions."""
+    dataset = synthetic_blobs(
+        n=PARALLEL_BENCH_N, m=M, dimensions=PARALLEL_BENCH_D, seed=BENCH_SEED
+    )
+    constraint = equal_representation(K, list(dataset.group_sizes().keys()))
+    shard_counts = (1, 2, 4, 8)
+
+    def _sweep():
+        return [
+            (shards, *_timed_run(dataset, constraint, shards, "serial"))
+            for shards in shard_counts
+        ]
+
+    outcomes = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [_row("serial", shards, result, seconds) for shards, result, seconds in outcomes]
+    print_table(
+        rows, COLUMNS, title=f"ParallelFDM shard scaling — serial, n={PARALLEL_BENCH_N}"
+    )
+    write_csv(
+        rows,
+        results_dir / scaled_csv_name("parallel_shard_scaling", PARALLEL_BENCH_N, 100_000),
+        columns=COLUMNS,
+    )
+
+    # Every shard count must produce a full-size fair solution.
+    for shards, result, _ in outcomes:
+        assert result.solution is not None
+        assert result.solution.is_fair, f"{shards} shards lost fairness"
+    # More shards -> smaller per-shard summaries, but quality must stay in
+    # the composable-coreset regime relative to the unsharded run.
+    single = outcomes[0][1].solution.diversity
+    for shards, result, _ in outcomes[1:]:
+        assert result.solution.diversity >= single / 3.0, f"{shards} shards lost quality"

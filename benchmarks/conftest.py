@@ -58,6 +58,16 @@ def bench_dataset(name: str, n: int = None, seed: int = None):
     return load_dataset(name, n=n, seed=BENCH_SEED if seed is None else seed)
 
 
+def scaled_csv_name(stem: str, scale: int, canonical: int) -> str:
+    """CSV filename for a bench run at ``scale``.
+
+    Canonical-scale runs keep the tracked filename; smaller (smoke) scales
+    get a ``_smoke`` suffix, which is gitignored, so `make bench-smoke` /
+    `make ci` never clobber the committed acceptance-scale rows.
+    """
+    return f"{stem}.csv" if scale >= canonical else f"{stem}_smoke.csv"
+
+
 def print_table(rows, columns, title):
     """Print an aligned table to stdout (visible with ``pytest -s``)."""
     from repro.evaluation.reporting import format_table

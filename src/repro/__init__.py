@@ -9,6 +9,8 @@ The package exposes:
 * the streaming algorithms :class:`SFDM1`, :class:`SFDM2`, and the
   unconstrained building block :class:`StreamingDiversityMaximization`;
 * the offline baselines ``gmm``, ``fair_swap``, ``fair_flow``, ``fair_gmm``;
+* the sharded parallel engine :class:`ParallelFDM` with its serial /
+  thread / process execution backends;
 * the supporting substrates: metrics, streams, fairness constraints,
   matroids (with matroid intersection), max-flow, datasets, and an
   experiment harness.
@@ -73,6 +75,13 @@ from repro.metrics import (
     hamming,
     manhattan,
 )
+from repro.parallel import (
+    ParallelFDM,
+    ProcessBackend,
+    SerialBackend,
+    ShardPlanner,
+    ThreadBackend,
+)
 from repro.streaming import DataStream, Element, StreamStats, iter_batches, stream_from_arrays
 from repro.utils import (
     EmptyStreamError,
@@ -128,6 +137,12 @@ __all__ = [
     "angular",
     "cosine",
     "hamming",
+    # parallel execution
+    "ParallelFDM",
+    "ShardPlanner",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
     # streaming
     "Element",
     "DataStream",

@@ -11,6 +11,11 @@ Run SFDM2 with the vectorized batch ingestion path on a large stream::
     python -m repro run --dataset synthetic-m2 --algorithm SFDM2 -k 20 \
         --n 50000 --batch-size 1024
 
+Run the sharded parallel engine over four worker processes::
+
+    python -m repro run --dataset synthetic-m2 --algorithm ParallelFDM -k 20 \
+        --n 100000 --shards 4 --backend process
+
 Compare every applicable algorithm on a synthetic stream and save a CSV::
 
     python -m repro compare --dataset synthetic-m10 -k 20 --output results.csv
@@ -30,13 +35,25 @@ from repro.datasets.registry import dataset_names, load_dataset
 from repro.evaluation.harness import (
     ExperimentConfig,
     default_algorithms,
+    extended_algorithms,
     run_algorithm,
     run_experiment,
 )
 from repro.evaluation.reporting import format_table, records_to_rows, write_csv
+from repro.parallel.backends import backend_names
 from repro.utils.errors import ReproError
 
-_ALGORITHM_CHOICES = ("SFDM1", "SFDM2", "GMM", "FairSwap", "FairFlow", "FairGMM")
+_ALGORITHM_CHOICES = (
+    "SFDM1",
+    "SFDM2",
+    "GMM",
+    "FairSwap",
+    "FairFlow",
+    "FairGMM",
+    "Coreset",
+    "WindowFDM",
+    "ParallelFDM",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--include-fair-gmm",
         action="store_true",
         help="also run the enumeration-based FairGMM baseline (small k/m only)",
+    )
+    compare_parser.add_argument(
+        "--include-extended",
+        action="store_true",
+        help=(
+            "also run the extended suite (Coreset, WindowFDM, and ParallelFDM "
+            "with --shards/--backend)"
+        ),
     )
     compare_parser.add_argument("--output", help="write the result rows to this CSV file")
     compare_parser.set_defaults(func=_cmd_compare)
@@ -103,6 +128,18 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "(default: element-at-a-time updates)"
         ),
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for the ParallelFDM engine (default 4)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=tuple(backend_names()),
+        default="serial",
+        help="execution backend for the ParallelFDM shards (default: serial)",
+    )
 
 
 _COLUMNS = [
@@ -137,7 +174,9 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _make_config(args)
-    algorithms = default_algorithms(include_fair_gmm=True, batch_size=args.batch_size)
+    algorithms = default_algorithms(
+        include_fair_gmm=True, batch_size=args.batch_size
+    ) + extended_algorithms(shards=args.shards, backend=args.backend)
     spec = next((s for s in algorithms if s.name == args.algorithm), None)
     if spec is None:
         print(f"unknown algorithm {args.algorithm}", file=sys.stderr)
@@ -150,12 +189,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _make_config(args)
-    records = run_experiment(
-        [config],
-        algorithms=default_algorithms(
-            include_fair_gmm=args.include_fair_gmm, batch_size=args.batch_size
-        ),
+    algorithms = default_algorithms(
+        include_fair_gmm=args.include_fair_gmm, batch_size=args.batch_size
     )
+    if args.include_extended:
+        algorithms += extended_algorithms(shards=args.shards, backend=args.backend)
+    records = run_experiment([config], algorithms=algorithms)
     rows = records_to_rows(records, columns=_COLUMNS)
     print(format_table(rows, columns=_COLUMNS, title=f"comparison on {args.dataset}"))
     if args.output:

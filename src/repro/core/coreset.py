@@ -25,19 +25,23 @@ from repro.core.solution import FairSolution
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric
 from repro.streaming.element import Element
-from repro.utils.errors import InvalidParameterError
-from repro.utils.validation import require_positive_int
+from repro.utils.validation import require_non_empty, require_positive_int
 
 
 def partition_elements(
     elements: Sequence[Element], num_parts: int
 ) -> List[List[Element]]:
-    """Split ``elements`` into ``num_parts`` contiguous, near-equal parts."""
+    """Split ``elements`` into at most ``num_parts`` contiguous, near-equal parts.
+
+    When the collection is smaller than ``num_parts`` the part count is
+    capped at ``len(elements)`` (one element per part) instead of raising,
+    so callers that pick a shard count for the *expected* data size degrade
+    gracefully on tiny inputs.  Empty inputs yield no parts.
+    """
     num_parts = require_positive_int(num_parts, "num_parts")
-    if num_parts > len(elements):
-        raise InvalidParameterError(
-            f"cannot split {len(elements)} elements into {num_parts} non-empty parts"
-        )
+    num_parts = min(num_parts, len(elements))
+    if num_parts == 0:
+        return []
     parts: List[List[Element]] = [[] for _ in range(num_parts)]
     base, remainder = divmod(len(elements), num_parts)
     start = 0
@@ -53,6 +57,7 @@ def gmm_coreset(
     metric: Metric,
     k: int,
     per_group: bool = False,
+    start_index: int = 0,
 ) -> List[Element]:
     """A GMM-based coreset of one data part.
 
@@ -60,14 +65,33 @@ def gmm_coreset(
     ``k`` GMM picks on the part.  With ``per_group=True`` it additionally
     keeps ``k`` GMM picks *within every group* present in the part, which is
     what fair downstream selection needs.
+
+    Parameters
+    ----------
+    start_index:
+        Seed position for the farthest-point greedy, reduced modulo the
+        (group-restricted) pool size so any non-negative value is valid.
+        The parallel driver derives it from its run seed, which makes the
+        per-shard summaries reproducible for a fixed seed while still
+        letting experiments vary the GMM seed element.
     """
+    if not elements:
+        return []
     summary: Dict[int, Element] = {}
-    for element in gmm_elements(elements, metric, k):
+    for element in gmm_elements(elements, metric, k, start_index=start_index % len(elements)):
         summary.setdefault(element.uid, element)
     if per_group:
-        groups = {element.group for element in elements}
-        for group in groups:
-            for element in gmm_elements(elements, metric, k, restrict_group=group):
+        group_sizes: Dict[int, int] = {}
+        for element in elements:
+            group_sizes[element.group] = group_sizes.get(element.group, 0) + 1
+        for group in sorted(group_sizes):
+            for element in gmm_elements(
+                elements,
+                metric,
+                k,
+                start_index=start_index % group_sizes[group],
+                restrict_group=group,
+            ):
                 summary.setdefault(element.uid, element)
     return list(summary.values())
 
@@ -107,6 +131,7 @@ def coreset_fair_diversity(
         When ``True``, a final pass of same-group local-search swaps against
         the coreset is applied (cheap, because the coreset is small).
     """
+    require_non_empty(elements, "elements")
     k = constraint.total_size
     parts = partition_elements(elements, num_parts)
     coreset = composable_fair_coreset(parts, metric, k)

@@ -1,0 +1,59 @@
+"""Sharded parallel execution engine for fair diversity maximization.
+
+This package scales the library beyond a single core by combining three
+orthogonal pieces — each independently replaceable:
+
+* **planning** (:mod:`repro.parallel.planner`): partition a stream into
+  shards, contiguously or group-stratified;
+* **execution** (:mod:`repro.parallel.backends`): run per-shard summaries
+  serially, on threads, or on worker processes behind one ``map_shards``
+  contract;
+* **merging** (:mod:`repro.parallel.summarize`,
+  :mod:`repro.parallel.merge`): compress each shard to a fair composable
+  coreset and reduce the summaries through a binary merge tree.
+
+:class:`~repro.parallel.driver.ParallelFDM` wires them into a runnable
+algorithm with the library's standard :class:`~repro.core.result.RunResult`
+interface; the evaluation harness and the CLI expose it next to the
+paper's algorithms (``--shards`` / ``--backend``).
+"""
+
+from repro.parallel.backends import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    backend_names,
+    resolve_backend,
+)
+from repro.parallel.driver import ParallelFDM
+from repro.parallel.merge import merge_pair, merge_tree
+from repro.parallel.planner import STRATEGIES, ShardPlanner
+from repro.parallel.summarize import (
+    SUMMARIZERS,
+    GMMShardSummarizer,
+    ShardSummarizer,
+    StreamShardSummarizer,
+    resolve_summarizer,
+)
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "backend_names",
+    "resolve_backend",
+    "ShardPlanner",
+    "STRATEGIES",
+    "ShardSummarizer",
+    "GMMShardSummarizer",
+    "StreamShardSummarizer",
+    "SUMMARIZERS",
+    "resolve_summarizer",
+    "merge_pair",
+    "merge_tree",
+    "ParallelFDM",
+]

@@ -1,0 +1,281 @@
+"""``ParallelFDM``: sharded fair diversity maximization, end to end.
+
+The driver stitches the parallel layer together:
+
+1. a :class:`~repro.parallel.planner.ShardPlanner` partitions the stream
+   (group-stratified by default, so small protected groups are spread
+   across shards rather than stranded in one);
+2. every shard is summarised on a
+   :class:`~repro.parallel.backends.Backend` worker — packed into a
+   compact, pickle-cheap payload first (uid / group / feature arrays
+   instead of 25 000 individual ``Element`` pickles) when the backend
+   crosses a process boundary, and handed over untouched for the
+   in-process backends — with a
+   :class:`~repro.parallel.summarize.ShardSummarizer` — by default the
+   per-group GMM composable coreset, computed with the vectorized batch
+   kernels;
+3. the per-shard summaries are reduced through the binary
+   :func:`~repro.parallel.merge.merge_tree` on the driver;
+4. the fair post-processing runs on the merged coreset: greedy fair fill
+   plus (optionally) the same-group local-search polish, exactly the
+   extraction rule :func:`repro.core.coreset.coreset_fair_diversity`
+   uses.
+
+Every stage is deterministic for a fixed ``(stream order, shards,
+strategy, seed)``: the planner is order-preserving, backends return
+results in shard order, the merge pairs summaries positionally, and GMM
+seed positions are derived from the run seed.  The *backend* therefore
+never affects the solution — only where and how fast the shard work runs
+— which the property tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.postprocess import greedy_fair_fill
+from repro.core.result import RunResult
+from repro.core.solution import FairSolution
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.base import Metric
+from repro.metrics.cached import CountingMetric
+from repro.parallel.backends import Backend, resolve_backend
+from repro.parallel.merge import merge_tree
+from repro.parallel.planner import ShardPlanner
+from repro.parallel.summarize import ShardSummarizer, resolve_summarizer
+from repro.streaming.element import Element
+from repro.streaming.stats import StreamStats
+from repro.utils.rng import derive_seed
+from repro.utils.timer import Timer
+from repro.utils.validation import require_positive_int
+
+
+class _PackedShard(NamedTuple):
+    """Pickle-cheap shard representation shipped to process workers."""
+
+    uids: np.ndarray
+    groups: np.ndarray
+    #: Either one ``(n, d)`` numeric matrix or the raw payload list when
+    #: the payloads are not uniformly stackable (strings, ragged arrays).
+    vectors: Any
+    #: Per-element labels, or ``None`` when no element carries one.
+    labels: Optional[List[Optional[str]]]
+
+
+class _ShardJob(NamedTuple):
+    """One unit of backend work: a shard plus the summarizer config.
+
+    ``shard`` is a :class:`_PackedShard` when the backend ships tasks
+    across a process boundary (compact arrays pickle orders of magnitude
+    faster than element lists) and the plain element list for in-process
+    backends, which never pickle and would only pay the pack/unpack tax.
+    """
+
+    shard: Union[_PackedShard, List[Element]]
+    metric: Metric
+    k: int
+    summarizer: ShardSummarizer
+    start_index: int
+
+
+def _pack_shard(elements: Sequence[Element]) -> _PackedShard:
+    """Pack elements into arrays; falls back to the raw payload list if ragged."""
+    payloads = [element.vector for element in elements]
+    vectors: Any
+    try:
+        stacked = np.asarray(payloads)
+        vectors = stacked if stacked.ndim == 2 and stacked.dtype.kind in "fiub" else payloads
+    except ValueError:
+        vectors = payloads
+    labels = [element.label for element in elements]
+    return _PackedShard(
+        uids=np.fromiter((element.uid for element in elements), dtype=np.int64),
+        groups=np.fromiter((element.group for element in elements), dtype=np.int64),
+        vectors=vectors,
+        labels=labels if any(label is not None for label in labels) else None,
+    )
+
+
+def _unpack_shard(packed: _PackedShard) -> List[Element]:
+    """Rebuild the element list a worker operates on."""
+    labels = packed.labels
+    return [
+        Element(
+            uid=int(packed.uids[index]),
+            vector=packed.vectors[index],
+            group=int(packed.groups[index]),
+            label=None if labels is None else labels[index],
+        )
+        for index in range(len(packed.uids))
+    ]
+
+
+def _summarize_shard(job: _ShardJob) -> Tuple[List[Element], int]:
+    """Backend entry point: summarise one shard, return ``(summary, distances)``.
+
+    Module-level (not a closure) so the process backend can pickle it; the
+    distance count is measured inside the worker and shipped back with the
+    summary so the accounting works identically on every backend.
+    """
+    counting = CountingMetric(job.metric)
+    elements = (
+        _unpack_shard(job.shard) if isinstance(job.shard, _PackedShard) else job.shard
+    )
+    summary = job.summarizer.summarize(
+        elements, counting, job.k, start_index=job.start_index
+    )
+    return summary, counting.calls
+
+
+class ParallelFDM:
+    """Sharded fair diversity maximization with pluggable execution backends.
+
+    Parameters
+    ----------
+    metric:
+        Distance metric shared by all shards.
+    constraint:
+        Fairness constraint; its total size ``k`` is the per-group summary
+        budget unless ``summary_size`` overrides it.
+    shards:
+        Requested shard count (the plan may contain fewer for tiny inputs).
+    backend:
+        A :class:`Backend` instance or one of ``"serial"``, ``"thread"``,
+        ``"process"``; validated eagerly.
+    strategy:
+        Shard planning strategy; defaults to ``"stratified"`` so protected
+        groups are spread across shards (``"contiguous"`` splits the
+        stream order instead).
+    summarizer:
+        A :class:`ShardSummarizer` instance or one of ``"gmm"`` /
+        ``"stream"``; defaults to the per-group GMM composable coreset.
+    summary_size:
+        Per-group summary budget; defaults to ``constraint.total_size``.
+    refine_with_swap:
+        Apply the same-group local-search polish to the extracted solution
+        (cheap — the merged coreset is small).
+    seed:
+        Seed for the GMM start positions inside shards; results are
+        reproducible for a fixed ``(stream order, shards, strategy, seed)``
+        and identical across backends.
+    """
+
+    name = "ParallelFDM"
+
+    def __init__(
+        self,
+        metric: Metric,
+        constraint: FairnessConstraint,
+        shards: int = 4,
+        backend: Union[str, Backend, None] = "serial",
+        strategy: str = "stratified",
+        summarizer: Union[str, ShardSummarizer, None] = "gmm",
+        summary_size: Optional[int] = None,
+        refine_with_swap: bool = True,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.metric = metric
+        self.constraint = constraint
+        self.planner = ShardPlanner(shards, strategy=strategy)
+        self.backend = resolve_backend(backend)
+        self.summarizer = resolve_summarizer(summarizer)
+        self.summary_size = require_positive_int(
+            summary_size if summary_size is not None else constraint.total_size,
+            "summary_size",
+        )
+        self.refine_with_swap = refine_with_swap
+        self.seed = seed
+
+    def _start_index(self, shard_index: int, shard_size: int) -> int:
+        """Deterministic GMM seed position for one shard."""
+        if self.seed is None or shard_size == 0:
+            return 0
+        derived = derive_seed(self.seed, shard_index)
+        return int(derived) % shard_size
+
+    def run(self, stream) -> RunResult:
+        """Consume ``stream`` (any element iterable) and return a :class:`RunResult`.
+
+        The stream phase covers planning, shipping, and the per-shard
+        summaries; the post-processing phase covers the merge tree, the
+        greedy fair fill, and the optional local-search polish.  Stored
+        elements are accounted from the distributed perspective: the peak
+        is the largest single worker's shard plus the driver-side
+        summaries, not the full ``n`` the driver would need if it solved
+        the problem unsharded.
+        """
+        pack = self.backend.requires_pickling
+        stream_timer = Timer()
+        with stream_timer.measure():
+            shards = self.planner.plan(stream)
+            total = sum(len(shard) for shard in shards)
+            jobs = [
+                _ShardJob(
+                    shard=_pack_shard(shard) if pack else shard,
+                    metric=self.metric,
+                    k=self.summary_size,
+                    summarizer=self.summarizer,
+                    start_index=self._start_index(index, len(shard)),
+                )
+                for index, shard in enumerate(shards)
+            ]
+            outcomes = self.backend.map_shards(_summarize_shard, jobs)
+        summaries = [summary for summary, _ in outcomes]
+        shard_distance_calls = sum(calls for _, calls in outcomes)
+
+        counting = CountingMetric(self.metric)
+        post_timer = Timer()
+        with post_timer.measure():
+            coreset, merge_rounds = merge_tree(
+                summaries, counting, self.summary_size, start_index=0
+            )
+            selection = greedy_fair_fill(coreset, self.constraint, counting)
+            if self.refine_with_swap:
+                from repro.core.local_search import local_search_improve
+
+                solution = local_search_improve(
+                    selection, coreset, counting, self.constraint
+                )
+            else:
+                solution = FairSolution(selection, counting, self.constraint)
+
+        stats = StreamStats(
+            elements_processed=total,
+            stream_distance_computations=shard_distance_calls,
+            postprocess_distance_computations=counting.calls,
+            peak_stored_elements=(
+                max((len(shard) for shard in shards), default=0)
+                + sum(len(summary) for summary in summaries)
+            ),
+            final_stored_elements=len(coreset),
+            stream_seconds=stream_timer.elapsed,
+            postprocess_seconds=post_timer.elapsed,
+            extra={
+                "shards": float(len(shards)),
+                "merge_rounds": float(merge_rounds),
+                "coreset_size": float(len(coreset)),
+            },
+        )
+        return RunResult(
+            algorithm=self.name,
+            solution=solution,
+            stats=stats,
+            params={
+                "k": self.constraint.total_size,
+                "shards": self.planner.num_shards,
+                "backend": self.backend.name,
+                "strategy": self.planner.strategy,
+                "summarizer": self.summarizer.name,
+                "summary_size": self.summary_size,
+                "seed": self.seed,
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelFDM(shards={self.planner.num_shards}, "
+            f"backend={self.backend.name!r}, strategy={self.planner.strategy!r}, "
+            f"summarizer={self.summarizer.name!r})"
+        )

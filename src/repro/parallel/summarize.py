@@ -1,0 +1,229 @@
+"""Per-shard summarizers: compress one shard into a small candidate pool.
+
+A summarizer maps a shard (an element list) to a summary whose union
+across shards is a *composable coreset* for fair diversity maximization:
+solving the problem on the merged summaries gives a constant-factor
+approximation of solving it on the full data (Indyk et al., PODS 2014),
+and keeping ``k`` elements per group in every summary keeps every group
+quota feasible after the merge.
+
+Two summarizers ship with the library, both stateless value objects so
+the process backend can pickle them into workers:
+
+* :class:`GMMShardSummarizer` — the theory-backed default: ``k`` GMM
+  picks on the shard plus ``k`` GMM picks within every group present
+  (:func:`repro.core.coreset.gmm_coreset`), computed with the vectorized
+  ``distances_to`` kernels when the metric has them;
+* :class:`StreamShardSummarizer` — a bounded-memory one-pass alternative
+  built on :meth:`repro.core.candidate.Candidate.offer_batch`: the shard
+  is consumed in chunks through a geometric ladder of distance
+  thresholds, maintaining one group-blind and one per-group candidate per
+  level, exactly like the stream phase of the paper's algorithms.  Its
+  working set is ``O(k · m · log(Δ)/ε)`` independent of the shard size,
+  which matters when shards are streamed from disk rather than
+  materialised.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.candidate import Candidate
+from repro.core.coreset import gmm_coreset
+from repro.core.guesses import GuessLadder
+from repro.metrics.base import Metric
+from repro.metrics.space import exact_distance_bounds
+from repro.streaming.element import Element
+from repro.streaming.stream import iter_batches
+from repro.utils.errors import InvalidParameterError
+from repro.utils.validation import require_in_open_interval, require_positive_int
+
+
+def _first_k_per_group(elements: Sequence[Element], k: int) -> List[Element]:
+    """First ``k`` distinct elements of every group, in stream order.
+
+    The degenerate-shard fallback: even without a usable distance ladder
+    the summary must keep every group present in the shard represented
+    (up to ``k`` members), or the merged coreset could lose a small
+    protected group entirely.
+    """
+    taken: Dict[int, int] = {}
+    seen_uids: Dict[int, bool] = {}
+    summary: List[Element] = []
+    for element in elements:
+        if element.uid in seen_uids:
+            continue
+        seen_uids[element.uid] = True
+        if taken.get(element.group, 0) < k:
+            summary.append(element)
+            taken[element.group] = taken.get(element.group, 0) + 1
+    return summary
+
+
+class ShardSummarizer(ABC):
+    """Strategy object that compresses one shard into a summary pool."""
+
+    #: CLI-facing name (``"gmm"``, ``"stream"``).
+    name: str = "summarizer"
+
+    @abstractmethod
+    def summarize(
+        self,
+        elements: Sequence[Element],
+        metric: Metric,
+        k: int,
+        start_index: int = 0,
+    ) -> List[Element]:
+        """Return the shard's summary (distinct elements, deterministic order).
+
+        Parameters
+        ----------
+        elements:
+            The shard, in stream order.
+        metric:
+            Distance metric shared by every shard.
+        k:
+            Per-group (and group-blind) summary budget — normally the
+            fairness constraint's total solution size.
+        start_index:
+            Deterministic seed position forwarded to GMM-style greedy
+            starts; the driver derives it from its run seed.
+        """
+
+
+class GMMShardSummarizer(ShardSummarizer):
+    """Per-group GMM coreset of the shard — the composable-coreset default."""
+
+    name = "gmm"
+
+    def summarize(
+        self,
+        elements: Sequence[Element],
+        metric: Metric,
+        k: int,
+        start_index: int = 0,
+    ) -> List[Element]:
+        """``k`` blind GMM picks plus ``k`` picks per group present in the shard."""
+        return gmm_coreset(elements, metric, k, per_group=True, start_index=start_index)
+
+
+class StreamShardSummarizer(ShardSummarizer):
+    """One-pass chunked summarizer on the ``Candidate.offer_batch`` kernel.
+
+    Parameters
+    ----------
+    chunk_size:
+        Elements per ingestion chunk; each chunk is screened against every
+        threshold level with one batched min-distance computation.
+    epsilon:
+        Relative step of the threshold ladder in ``(0, 1)``.  The default
+        of 0.5 (a factor-2 ladder) keeps the level count — and therefore
+        the summary size — small; shard summaries feed a merge and a
+        post-processing stage that re-optimise anyway, so a fine ladder
+        buys little here.
+    """
+
+    name = "stream"
+
+    def __init__(self, chunk_size: int = 1024, epsilon: float = 0.5) -> None:
+        self.chunk_size = require_positive_int(chunk_size, "chunk_size")
+        self.epsilon = require_in_open_interval(epsilon, 0.0, 1.0, "epsilon")
+
+    def summarize(
+        self,
+        elements: Sequence[Element],
+        metric: Metric,
+        k: int,
+        start_index: int = 0,
+    ) -> List[Element]:
+        """Feed the shard chunk-wise through per-level blind and group candidates.
+
+        Distance bounds are estimated on the first chunk and widened by the
+        same factor-4 margin the streaming algorithms use; ``start_index``
+        is unused (the one-pass rule has no seed choice) but kept so every
+        summarizer shares one call signature.
+        """
+        del start_index  # the one-pass threshold rule has no seed element
+        chunks = list(iter_batches(elements, self.chunk_size))
+        if not chunks:
+            return []
+        sample = chunks[0]
+        if len(elements) == 1 or len(sample) == 1:
+            return _first_k_per_group(elements, k)
+        d_min, d_max = exact_distance_bounds(sample, metric)
+        if d_min <= 0.0 or not np.isfinite(d_max) or d_max <= 0.0:
+            # Degenerate shard (duplicate-only sample): no usable ladder.
+            return _first_k_per_group(elements, k)
+        ladder = GuessLadder(d_min / 4.0, d_max * 4.0, self.epsilon)
+        blind: List[Candidate] = [Candidate(mu, k, metric) for mu in ladder]
+        grouped: Dict[int, List[Candidate]] = {}
+
+        for chunk in chunks:
+            vectors = (
+                np.asarray([element.vector for element in chunk])
+                if metric.supports_batch
+                else None
+            )
+            for candidate in blind:
+                candidate.offer_batch(chunk, vectors)
+            chunk_groups = np.fromiter(
+                (element.group for element in chunk), dtype=np.int64, count=len(chunk)
+            )
+            for group in sorted(set(chunk_groups.tolist())):
+                levels = grouped.setdefault(
+                    group, [Candidate(mu, k, metric, group=group) for mu in ladder]
+                )
+                indices = np.nonzero(chunk_groups == group)[0]
+                members = [chunk[int(i)] for i in indices]
+                # Slice the already-stacked chunk matrix instead of
+                # re-stacking the members' payloads per group.
+                member_vectors = None if vectors is None else vectors[indices]
+                for candidate in levels:
+                    candidate.offer_batch(members, member_vectors)
+
+        summary: Dict[int, Element] = {}
+        for candidate in blind:
+            for element in candidate:
+                summary.setdefault(element.uid, element)
+        for group in sorted(grouped):
+            for candidate in grouped[group]:
+                for element in candidate:
+                    summary.setdefault(element.uid, element)
+        return list(summary.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamShardSummarizer(chunk_size={self.chunk_size}, epsilon={self.epsilon:g})"
+        )
+
+
+#: Name -> summarizer factory for the built-in summarizers.
+SUMMARIZERS = {
+    GMMShardSummarizer.name: GMMShardSummarizer,
+    StreamShardSummarizer.name: StreamShardSummarizer,
+}
+
+
+def resolve_summarizer(spec) -> ShardSummarizer:
+    """Normalise a summarizer specification to a :class:`ShardSummarizer`.
+
+    Accepts an instance (returned unchanged), a built-in name, or ``None``
+    (the GMM default); unknown names fail eagerly.
+    """
+    if spec is None:
+        return GMMShardSummarizer()
+    if isinstance(spec, ShardSummarizer):
+        return spec
+    if isinstance(spec, str):
+        factory = SUMMARIZERS.get(spec)
+        if factory is None:
+            raise InvalidParameterError(
+                f"unknown summarizer {spec!r}; available: {', '.join(SUMMARIZERS)}"
+            )
+        return factory()
+    raise InvalidParameterError(
+        f"summarizer must be a ShardSummarizer or one of {list(SUMMARIZERS)}, got {spec!r}"
+    )

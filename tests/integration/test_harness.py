@@ -5,11 +5,16 @@ import pytest
 from repro.datasets.synthetic import synthetic_blobs
 from repro.evaluation.harness import (
     ExperimentConfig,
+    coreset_algorithm,
     default_algorithms,
+    extended_algorithms,
+    parallel_algorithm,
     run_experiment,
     streaming_algorithms,
+    window_algorithm,
 )
 from repro.evaluation.reporting import format_table, records_to_rows, write_csv
+from repro.utils.errors import InvalidParameterError
 
 
 class TestRunExperiment:
@@ -56,6 +61,46 @@ class TestRunExperiment:
         records = run_experiment(configs, algorithms=streaming_algorithms())
         ks = {record.k for record in records}
         assert ks == {4, 8}
+
+    def test_extended_suite(self):
+        dataset = synthetic_blobs(n=240, m=3, seed=6)
+        configs = [ExperimentConfig(dataset=dataset, k=6, repetitions=1)]
+        records = run_experiment(configs, algorithms=extended_algorithms(shards=3))
+        names = {record.algorithm for record in records}
+        assert names == {"Coreset", "WindowFDM", "ParallelFDM"}
+        assert all(record.diversity > 0 for record in records)
+
+    def test_parallel_algorithm_validates_eagerly(self):
+        with pytest.raises(InvalidParameterError):
+            parallel_algorithm(shards=0)
+        with pytest.raises(InvalidParameterError):
+            parallel_algorithm(backend="gpu")
+        with pytest.raises(InvalidParameterError):
+            parallel_algorithm(strategy="zigzag")
+        with pytest.raises(InvalidParameterError):
+            parallel_algorithm(summarizer="kmeans")
+
+    def test_window_and_coreset_validate_eagerly(self):
+        with pytest.raises(InvalidParameterError):
+            window_algorithm(window=0)
+        with pytest.raises(InvalidParameterError):
+            window_algorithm(blocks=0)
+        with pytest.raises(InvalidParameterError):
+            coreset_algorithm(num_parts=0)
+        with pytest.raises(InvalidParameterError):
+            coreset_algorithm(num_parts="four")
+        with pytest.raises(InvalidParameterError):
+            coreset_algorithm(num_parts=2.9)
+
+    def test_parallel_spec_runs_with_repetitions(self):
+        dataset = synthetic_blobs(n=200, m=2, seed=9)
+        configs = [ExperimentConfig(dataset=dataset, k=6, repetitions=2)]
+        records = run_experiment(
+            configs, algorithms=[parallel_algorithm(shards=4, backend="thread")]
+        )
+        assert records[0].algorithm == "ParallelFDM"
+        assert records[0].repetitions == 2
+        assert records[0].failures == 0
 
     def test_proportional_fairness_cells(self):
         dataset = synthetic_blobs(n=200, m=2, seed=5)

@@ -1,0 +1,123 @@
+"""Property tests for the parallel engine's core guarantees.
+
+Two families:
+
+* **backend transparency** — for a fixed ``(stream seed, shards,
+  strategy, run seed)`` the computed solution is identical on every
+  backend: the backend decides where shard summaries run, never what
+  they compute.  Serial vs. thread is exercised densely via Hypothesis;
+  the process backend (which forks worker processes) is pinned with a
+  representative parametrised matrix to keep the suite fast.
+
+* **composable-coreset quality** — the diversity obtained through the
+  sharded merge-tree route stays within the composable-coreset factor of
+  the sequential coreset run on the same data.  The library's sequential
+  reference is :func:`repro.core.coreset.coreset_fair_diversity`; Indyk
+  et al.'s bound says solving on unioned per-part GMM summaries loses at
+  most a constant factor (3 for max-min diversity), which the merge tree
+  preserves per level — we assert the end-to-end factor-3 envelope both
+  ways, since neither route dominates the other pointwise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coreset import coreset_fair_diversity
+from repro.datasets.synthetic import synthetic_blobs
+from repro.fairness.constraints import equal_representation
+from repro.parallel import ParallelFDM
+
+#: The composable-coreset approximation envelope for max-min diversity.
+CORESET_FACTOR = 3.0
+
+
+def _dataset(n, m, seed):
+    return synthetic_blobs(n=n, m=m, seed=seed)
+
+
+def _run(dataset, constraint, shards, backend, strategy, seed, summarizer="gmm"):
+    return ParallelFDM(
+        metric=dataset.metric,
+        constraint=constraint,
+        shards=shards,
+        backend=backend,
+        strategy=strategy,
+        summarizer=summarizer,
+        seed=seed,
+    ).run(dataset.stream(seed=seed))
+
+
+class TestBackendTransparency:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        shards=st.integers(min_value=1, max_value=6),
+        strategy=st.sampled_from(["contiguous", "stratified"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        m=st.integers(min_value=2, max_value=4),
+    )
+    def test_thread_equals_serial(self, shards, strategy, seed, m):
+        dataset = _dataset(150, m, seed=7)
+        constraint = equal_representation(2 * m, list(dataset.group_sizes()))
+        serial = _run(dataset, constraint, shards, "serial", strategy, seed)
+        threaded = _run(dataset, constraint, shards, "thread", strategy, seed)
+        assert serial.solution.uids == threaded.solution.uids
+        assert serial.solution.diversity == pytest.approx(threaded.solution.diversity)
+
+    @pytest.mark.parametrize("shards", [1, 3, 4])
+    @pytest.mark.parametrize("summarizer", ["gmm", "stream"])
+    def test_process_equals_serial(self, shards, summarizer):
+        dataset = _dataset(240, 2, seed=11)
+        constraint = equal_representation(6, list(dataset.group_sizes()))
+        serial = _run(
+            dataset, constraint, shards, "serial", "stratified", seed=5,
+            summarizer=summarizer,
+        )
+        process = _run(
+            dataset, constraint, shards, "process", "stratified", seed=5,
+            summarizer=summarizer,
+        )
+        assert serial.solution.uids == process.solution.uids
+        assert serial.solution.diversity == pytest.approx(process.solution.diversity)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        shards=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_solution_is_always_fair_across_shard_counts(self, shards, seed):
+        dataset = _dataset(120, 3, seed=3)
+        constraint = equal_representation(6, list(dataset.group_sizes()))
+        result = _run(dataset, constraint, shards, "serial", "stratified", seed)
+        assert result.solution is not None
+        assert result.solution.is_fair
+
+
+class TestComposableCoresetQuality:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        shards=st.integers(min_value=2, max_value=8),
+        data_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_merged_coreset_diversity_within_factor_of_sequential(
+        self, shards, data_seed
+    ):
+        dataset = _dataset(200, 2, seed=data_seed)
+        constraint = equal_representation(6, list(dataset.group_sizes()))
+        parallel = _run(dataset, constraint, shards, "serial", "stratified", seed=None)
+        sequential = coreset_fair_diversity(
+            dataset.elements, dataset.metric, constraint, num_parts=shards
+        )
+        assert parallel.solution.is_fair and sequential.is_fair
+        assert parallel.solution.diversity >= sequential.diversity / CORESET_FACTOR
+        assert sequential.diversity >= parallel.solution.diversity / CORESET_FACTOR
+
+    def test_deep_merge_tree_preserves_quality(self):
+        # 16 shards -> a 4-level merge tree; quality must not decay with depth.
+        dataset = _dataset(400, 2, seed=21)
+        constraint = equal_representation(8, list(dataset.group_sizes()))
+        sharded = _run(dataset, constraint, 16, "serial", "stratified", seed=None)
+        unsharded = _run(dataset, constraint, 1, "serial", "stratified", seed=None)
+        assert sharded.solution.is_fair
+        assert sharded.solution.diversity >= unsharded.solution.diversity / CORESET_FACTOR

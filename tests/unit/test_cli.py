@@ -27,6 +27,41 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--dataset", "adult-sex", "--algorithm", "Magic"])
 
+    def test_parallel_flag_defaults(self):
+        args = build_parser().parse_args(["run", "--dataset", "adult-sex"])
+        assert args.shards == 4
+        assert args.backend == "serial"
+
+    def test_parallel_algorithm_accepted(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--dataset",
+                "synthetic-m2",
+                "--algorithm",
+                "ParallelFDM",
+                "--shards",
+                "8",
+                "--backend",
+                "process",
+            ]
+        )
+        assert args.algorithm == "ParallelFDM"
+        assert args.shards == 8
+        assert args.backend == "process"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "adult-sex", "--backend", "gpu"]
+            )
+
+    def test_compare_include_extended_flag(self):
+        args = build_parser().parse_args(
+            ["compare", "--dataset", "synthetic-m2", "--include-extended"]
+        )
+        assert args.include_extended
+
     def test_missing_dataset_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run"])
@@ -74,6 +109,82 @@ class TestMain:
         assert output.exists()
         content = output.read_text()
         assert "SFDM1" in content and "SFDM2" in content
+
+    def test_run_parallel_algorithm(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "synthetic-m2",
+                "--algorithm",
+                "ParallelFDM",
+                "-k",
+                "6",
+                "--n",
+                "300",
+                "--shards",
+                "3",
+                "--backend",
+                "thread",
+            ]
+        )
+        assert code == 0
+        assert "ParallelFDM" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algorithm", ["Coreset", "WindowFDM"])
+    def test_run_extended_algorithms(self, algorithm, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "synthetic-m2",
+                "--algorithm",
+                algorithm,
+                "-k",
+                "6",
+                "--n",
+                "300",
+            ]
+        )
+        assert code == 0
+        assert algorithm in capsys.readouterr().out
+
+    def test_invalid_shards_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "synthetic-m2",
+                "--algorithm",
+                "ParallelFDM",
+                "-k",
+                "4",
+                "--n",
+                "200",
+                "--shards",
+                "0",
+            ]
+        )
+        assert code == 1
+        assert "shards" in capsys.readouterr().err
+
+    def test_compare_include_extended_runs_parallel(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "synthetic-m2",
+                "-k",
+                "6",
+                "--n",
+                "200",
+                "--include-extended",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("ParallelFDM", "Coreset", "WindowFDM"):
+            assert name in output
 
     def test_unknown_dataset_fails_cleanly(self, capsys):
         code = main(["run", "--dataset", "not-a-dataset", "-k", "4"])

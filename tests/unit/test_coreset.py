@@ -39,9 +39,18 @@ class TestPartitionElements:
         sizes = [len(part) for part in parts]
         assert max(sizes) - min(sizes) <= 1
 
-    def test_too_many_parts_rejected(self):
+    def test_more_parts_than_elements_caps_gracefully(self):
+        parts = partition_elements(_elements(3), 5)
+        assert len(parts) == 3
+        assert all(len(part) == 1 for part in parts)
+        assert sorted(e.uid for part in parts for e in part) == [0, 1, 2]
+
+    def test_empty_input_yields_no_parts(self):
+        assert partition_elements([], 4) == []
+
+    def test_non_positive_parts_rejected(self):
         with pytest.raises(InvalidParameterError):
-            partition_elements(_elements(3), 5)
+            partition_elements(_elements(3), 0)
 
 
 class TestGmmCoreset:
@@ -57,6 +66,18 @@ class TestGmmCoreset:
         summary = gmm_coreset(_elements(30), METRIC, 10, per_group=True)
         uids = [e.uid for e in summary]
         assert len(uids) == len(set(uids))
+
+    def test_start_index_is_deterministic_and_modular(self):
+        elements = _elements(20, period=2)
+        seeded = gmm_coreset(elements, METRIC, 4, per_group=True, start_index=7)
+        again = gmm_coreset(elements, METRIC, 4, per_group=True, start_index=7)
+        assert [e.uid for e in seeded] == [e.uid for e in again]
+        # Any non-negative start is valid: it is reduced modulo the pool size.
+        huge = gmm_coreset(elements, METRIC, 4, per_group=True, start_index=10_007)
+        assert {e.group for e in huge} == {0, 1}
+
+    def test_empty_input_yields_empty_summary(self):
+        assert gmm_coreset([], METRIC, 3, per_group=True) == []
 
 
 class TestComposableFairCoreset:
@@ -87,6 +108,11 @@ class TestCoresetFairDiversity:
         solution = coreset_fair_diversity(elements, METRIC, constraint, num_parts=2)
         _, optimum = exact_fdm(elements, METRIC, constraint)
         assert solution.diversity >= optimum / 4 - 1e-9
+
+    def test_empty_input_rejected(self):
+        constraint = equal_representation(4, [0, 1])
+        with pytest.raises(InvalidParameterError):
+            coreset_fair_diversity([], METRIC, constraint)
 
     def test_refinement_never_hurts(self):
         rng = np.random.default_rng(3)

@@ -1,0 +1,228 @@
+"""Unit tests for shard packing, summarizers, merge tree, and the driver."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import synthetic_blobs
+from repro.fairness.constraints import equal_representation
+from repro.metrics.base import CallableMetric
+from repro.metrics.vector import EuclideanMetric
+from repro.parallel import ParallelFDM, merge_tree
+from repro.parallel.driver import _pack_shard, _summarize_shard, _ShardJob, _unpack_shard
+from repro.parallel.merge import merge_pair
+from repro.parallel.summarize import (
+    GMMShardSummarizer,
+    StreamShardSummarizer,
+    resolve_summarizer,
+)
+from repro.streaming.element import Element
+from repro.utils.errors import InvalidParameterError
+
+METRIC = EuclideanMetric()
+
+
+def _elements(count, period=2):
+    return [
+        Element(uid=i, vector=np.array([float(i), 0.0]), group=i % period)
+        for i in range(count)
+    ]
+
+
+class TestPacking:
+    def test_roundtrip_preserves_elements(self):
+        elements = _elements(7, period=3)
+        elements[2].label = "special"
+        rebuilt = _unpack_shard(_pack_shard(elements))
+        assert [e.uid for e in rebuilt] == [e.uid for e in elements]
+        assert [e.group for e in rebuilt] == [e.group for e in elements]
+        assert rebuilt[2].label == "special"
+        assert all(
+            np.allclose(a.vector, b.vector) for a, b in zip(rebuilt, elements)
+        )
+
+    def test_numeric_payloads_pack_to_one_matrix(self):
+        packed = _pack_shard(_elements(5))
+        assert isinstance(packed.vectors, np.ndarray)
+        assert packed.vectors.shape == (5, 2)
+        assert packed.labels is None
+
+    def test_ragged_payloads_fall_back_to_list(self):
+        elements = [
+            Element(uid=0, vector=np.array([1.0]), group=0),
+            Element(uid=1, vector=np.array([1.0, 2.0]), group=1),
+        ]
+        packed = _pack_shard(elements)
+        assert isinstance(packed.vectors, list)
+        rebuilt = _unpack_shard(packed)
+        assert np.allclose(rebuilt[1].vector, [1.0, 2.0])
+
+    def test_summarize_shard_reports_worker_distance_calls(self):
+        job = _ShardJob(
+            shard=_pack_shard(_elements(20)),
+            metric=METRIC,
+            k=4,
+            summarizer=GMMShardSummarizer(),
+            start_index=0,
+        )
+        summary, calls = _summarize_shard(job)
+        assert summary and calls > 0
+
+
+class TestSummarizers:
+    def test_gmm_summary_keeps_every_group(self):
+        summary = GMMShardSummarizer().summarize(_elements(30, period=3), METRIC, 4)
+        assert {e.group for e in summary} == {0, 1, 2}
+
+    def test_stream_summary_keeps_every_group(self):
+        summary = StreamShardSummarizer(chunk_size=8).summarize(
+            _elements(30, period=3), METRIC, 4
+        )
+        assert {e.group for e in summary} == {0, 1, 2}
+        uids = [e.uid for e in summary]
+        assert len(uids) == len(set(uids))
+
+    def test_stream_summary_single_element_shard(self):
+        summary = StreamShardSummarizer().summarize(_elements(1), METRIC, 3)
+        assert [e.uid for e in summary] == [0]
+
+    def test_stream_summary_duplicate_only_shard(self):
+        elements = [
+            Element(uid=i, vector=np.array([1.0, 1.0]), group=0) for i in range(5)
+        ]
+        summary = StreamShardSummarizer(chunk_size=4).summarize(elements, METRIC, 3)
+        assert 1 <= len(summary) <= 3
+
+    def test_degenerate_shard_keeps_every_group(self):
+        # Duplicate-only first chunk (no usable distance ladder) with the
+        # minority group appearing only after position k: the fallback
+        # must still keep up to k members of *every* group.
+        elements = [
+            Element(uid=i, vector=np.array([1.0, 1.0]), group=0) for i in range(6)
+        ] + [
+            Element(uid=6 + i, vector=np.array([2.0, 2.0]), group=1) for i in range(2)
+        ]
+        summary = StreamShardSummarizer(chunk_size=4).summarize(elements, METRIC, 2)
+        assert {e.group for e in summary} == {0, 1}
+        assert sum(1 for e in summary if e.group == 0) <= 2
+
+    def test_stream_summary_works_without_batch_kernels(self):
+        scalar_metric = CallableMetric(
+            lambda x, y: float(np.abs(np.asarray(x) - np.asarray(y)).sum())
+        )
+        summary = StreamShardSummarizer(chunk_size=8).summarize(
+            _elements(20), scalar_metric, 3
+        )
+        assert summary
+
+    def test_resolve_summarizer(self):
+        assert isinstance(resolve_summarizer(None), GMMShardSummarizer)
+        assert isinstance(resolve_summarizer("stream"), StreamShardSummarizer)
+        instance = GMMShardSummarizer()
+        assert resolve_summarizer(instance) is instance
+        with pytest.raises(InvalidParameterError):
+            resolve_summarizer("magic")
+
+    def test_stream_summarizer_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StreamShardSummarizer(chunk_size=0)
+        with pytest.raises(InvalidParameterError):
+            StreamShardSummarizer(epsilon=1.5)
+
+
+class TestMergeTree:
+    def test_merge_pair_deduplicates_by_uid(self):
+        elements = _elements(10)
+        merged = merge_pair(elements[:6], elements[4:], METRIC, 4)
+        uids = [e.uid for e in merged]
+        assert len(uids) == len(set(uids))
+        assert {e.group for e in merged} == {0, 1}
+
+    def test_tree_reduces_to_single_summary(self):
+        parts = [_elements(8), _elements(8), _elements(8), _elements(8)]
+        coreset, rounds = merge_tree(parts, METRIC, 3)
+        assert rounds == 2
+        assert coreset
+
+    def test_odd_summary_carried_over(self):
+        parts = [_elements(6)[:2], _elements(6)[2:4], _elements(6)[4:]]
+        coreset, rounds = merge_tree(parts, METRIC, 2)
+        assert rounds == 2
+        assert {e.uid for e in coreset} <= {0, 1, 2, 3, 4, 5}
+
+    def test_empty_and_single_inputs(self):
+        assert merge_tree([], METRIC, 3) == ([], 0)
+        coreset, rounds = merge_tree([[], _elements(4)], METRIC, 3)
+        assert rounds == 0
+        assert [e.uid for e in coreset] == [0, 1, 2, 3]
+
+
+class TestParallelFDM:
+    def test_eager_validation(self):
+        constraint = equal_representation(4, [0, 1])
+        with pytest.raises(InvalidParameterError):
+            ParallelFDM(METRIC, constraint, shards=0)
+        with pytest.raises(InvalidParameterError):
+            ParallelFDM(METRIC, constraint, backend="gpu")
+        with pytest.raises(InvalidParameterError):
+            ParallelFDM(METRIC, constraint, strategy="random")
+        with pytest.raises(InvalidParameterError):
+            ParallelFDM(METRIC, constraint, summarizer="magic")
+        with pytest.raises(InvalidParameterError):
+            ParallelFDM(METRIC, constraint, summary_size=0)
+
+    def test_run_returns_fair_solution_and_accounting(self):
+        dataset = synthetic_blobs(n=600, m=3, seed=5)
+        constraint = equal_representation(9, list(dataset.group_sizes()))
+        result = ParallelFDM(
+            dataset.metric, constraint, shards=4, backend="serial", seed=3
+        ).run(dataset.stream(seed=1))
+        assert result.solution is not None and result.solution.is_fair
+        assert result.algorithm == "ParallelFDM"
+        assert result.stats.elements_processed == 600
+        assert result.stats.extra["shards"] == 4.0
+        assert result.stats.extra["merge_rounds"] == 2.0
+        assert result.stats.stream_distance_computations > 0
+        assert result.stats.postprocess_distance_computations > 0
+        # Distributed accounting: far below holding all n elements at once.
+        assert result.stats.peak_stored_elements < 600
+        assert result.params["backend"] == "serial"
+
+    def test_reproducible_for_fixed_configuration(self):
+        dataset = synthetic_blobs(n=400, m=2, seed=8)
+        constraint = equal_representation(6, list(dataset.group_sizes()))
+
+        def _run():
+            return ParallelFDM(
+                dataset.metric, constraint, shards=3, backend="serial", seed=17
+            ).run(dataset.stream(seed=2))
+
+        assert _run().solution.uids == _run().solution.uids
+
+    def test_seed_varies_gmm_starts(self):
+        dataset = synthetic_blobs(n=300, m=2, seed=8)
+        constraint = equal_representation(6, list(dataset.group_sizes()))
+        runs = {
+            seed: ParallelFDM(
+                dataset.metric, constraint, shards=3, seed=seed
+            ).run(dataset.stream(seed=2))
+            for seed in (None, 1, 2)
+        }
+        # All runs must be fair regardless of the seeded start positions.
+        assert all(r.solution.is_fair for r in runs.values())
+
+    def test_shard_count_capped_for_tiny_streams(self):
+        dataset = synthetic_blobs(n=6, m=2, seed=4)
+        constraint = equal_representation(2, list(dataset.group_sizes()))
+        result = ParallelFDM(dataset.metric, constraint, shards=32).run(
+            dataset.stream(seed=None)
+        )
+        assert result.solution is not None
+        assert result.stats.extra["shards"] <= 6.0
+
+    def test_contiguous_strategy_runs(self):
+        dataset = synthetic_blobs(n=200, m=2, seed=4)
+        constraint = equal_representation(4, list(dataset.group_sizes()))
+        result = ParallelFDM(
+            dataset.metric, constraint, shards=4, strategy="contiguous"
+        ).run(dataset.stream(seed=1))
+        assert result.solution.is_fair

@@ -1,0 +1,128 @@
+"""Unit tests for the shard planner."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.planner import STRATEGIES, ShardPlanner
+from repro.streaming.element import Element
+from repro.streaming.stream import DataStream
+from repro.utils.errors import EmptyStreamError, InvalidParameterError
+
+
+def _elements(count, groups=(0, 1)):
+    return [
+        Element(uid=i, vector=np.array([float(i), 0.0]), group=groups[i % len(groups)])
+        for i in range(count)
+    ]
+
+
+def _grouped(sizes):
+    """Elements with ``sizes[g]`` members of group ``g``, interleaved by uid."""
+    elements = []
+    uid = 0
+    for group, size in sizes.items():
+        for _ in range(size):
+            elements.append(Element(uid=uid, vector=np.array([float(uid), 0.0]), group=group))
+            uid += 1
+    return elements
+
+
+class TestValidation:
+    def test_non_positive_shards_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ShardPlanner(0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(InvalidParameterError, match="strategy"):
+            ShardPlanner(2, strategy="random")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(EmptyStreamError):
+            ShardPlanner(2).plan([])
+
+
+class TestContiguous:
+    def test_partition_covers_input_in_order(self):
+        elements = _elements(10)
+        shards = ShardPlanner(3, strategy="contiguous").plan(elements)
+        assert [e.uid for shard in shards for e in shard] == list(range(10))
+        assert len(shards) == 3
+
+    def test_tiny_input_degrades_to_singletons(self):
+        shards = ShardPlanner(8, strategy="contiguous").plan(_elements(3))
+        assert len(shards) == 3
+        assert all(len(shard) == 1 for shard in shards)
+
+
+class TestStratified:
+    def test_partition_is_disjoint_and_covering(self):
+        elements = _elements(40, groups=(0, 1, 2))
+        shards = ShardPlanner(4, strategy="stratified").plan(elements)
+        uids = sorted(e.uid for shard in shards for e in shard)
+        assert uids == list(range(40))
+
+    def test_large_groups_reach_every_shard(self):
+        elements = _elements(40, groups=(0, 1))
+        shards = ShardPlanner(4, strategy="stratified").plan(elements)
+        for shard in shards:
+            assert {e.group for e in shard} == {0, 1}
+
+    def test_balanced_group_share_per_shard(self):
+        elements = _grouped({0: 32, 1: 32})
+        shards = ShardPlanner(4, strategy="stratified").plan(elements)
+        for shard in shards:
+            counts = {g: sum(1 for e in shard if e.group == g) for g in (0, 1)}
+            assert counts == {0: 8, 1: 8}
+
+    def test_small_group_spread_not_stranded(self):
+        # 3 members of the protected group among 64 elements, 4 shards: the
+        # round-robin dealing must place them on 3 distinct shards instead
+        # of stranding all of them in one.
+        elements = _grouped({0: 61, 1: 3})
+        shards = ShardPlanner(4, strategy="stratified").plan(elements)
+        shards_with_minority = [
+            index
+            for index, shard in enumerate(shards)
+            if any(e.group == 1 for e in shard)
+        ]
+        assert len(shards_with_minority) == 3
+
+    def test_tiny_groups_staggered_across_shards(self):
+        # Four singleton groups, four shards: the per-group offset must
+        # place each singleton on a different shard.
+        elements = _grouped({0: 1, 1: 1, 2: 1, 3: 1})
+        shards = ShardPlanner(4, strategy="stratified").plan(elements)
+        assert len(shards) == 4
+        assert sorted(shard[0].group for shard in shards) == [0, 1, 2, 3]
+
+    def test_preserves_stream_order_within_shard(self):
+        elements = _elements(24, groups=(0, 1))
+        shards = ShardPlanner(3, strategy="stratified").plan(elements)
+        for shard in shards:
+            uids = [e.uid for e in shard]
+            assert uids == sorted(uids)
+
+    def test_no_empty_shards(self):
+        shards = ShardPlanner(5, strategy="stratified").plan(_grouped({0: 2, 1: 1}))
+        assert all(shard for shard in shards)
+
+
+class TestStreamInput:
+    def test_plan_applies_stream_permutation(self):
+        elements = _elements(20)
+        stream = DataStream(elements, shuffle_seed=5)
+        planner = ShardPlanner(2, strategy="contiguous")
+        shards = planner.plan(stream)
+        flat = [e.uid for shard in shards for e in shard]
+        assert flat == [e.uid for e in stream]
+        assert flat != list(range(20))  # the permutation really applied
+
+    def test_plan_is_deterministic_for_fixed_seed(self):
+        elements = _elements(30, groups=(0, 1, 2))
+        for strategy in STRATEGIES:
+            planner = ShardPlanner(3, strategy=strategy)
+            first = planner.plan(DataStream(elements, shuffle_seed=9))
+            second = planner.plan(DataStream(elements, shuffle_seed=9))
+            assert [[e.uid for e in s] for s in first] == [
+                [e.uid for e in s] for s in second
+            ]
