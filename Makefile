@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-batch bench-parallel docs-check ci
+.PHONY: test bench-smoke bench-batch bench-parallel bench-hot perf-gate docs-check ci
 
 ## Run the full test suite (tier-1 gate).
 test:
@@ -30,6 +30,18 @@ bench-batch:
 bench-parallel:
 	$(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py -q -s
 
+## Acceptance-scale columnar-store benchmark (SFDM2 ingest store vs object
+## path at n = 100_000, >= 3x, plus post-processing and baseline hot
+## paths). Refreshes the `hot_paths` section of BENCH_hot_paths.json.
+bench-hot:
+	$(PYTHON) -m pytest benchmarks/bench_hot_paths.py -q -s
+
+## Perf-regression gate: fresh smoke run of the hot-path bench compared
+## against the committed BENCH_hot_paths.json baseline (wall-clock checks
+## are hardware-gated; accounting and speedup-ratio checks always apply).
+perf-gate:
+	$(PYTHON) tools/perf_gate.py
+
 ## Docstring completeness gate for the public API.
 ##
 ## Preferred tool: pydocstyle (numpy convention). It is not available in the
@@ -42,6 +54,6 @@ docs-check:
 		&& $(PYTHON) -m pydocstyle --convention=numpy src/repro/metrics src/repro/streaming \
 		|| $(PYTHON) tools/check_docstrings.py src/repro
 
-## One-command PR gate: tests, docstring completeness, and the smoke-scale
-## benchmark pass.
-ci: test docs-check bench-smoke
+## One-command PR gate: tests, docstring completeness, the smoke-scale
+## benchmark pass, and the perf-regression gate.
+ci: test docs-check bench-smoke perf-gate

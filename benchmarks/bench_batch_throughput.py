@@ -28,7 +28,7 @@ from repro.datasets.synthetic import synthetic_blobs
 from repro.evaluation.reporting import write_csv
 from repro.fairness.constraints import equal_representation
 
-from .conftest import BENCH_SEED, print_table, scaled_csv_name
+from .conftest import BENCH_SEED, print_table, record_bench_section, scaled_csv_name
 
 #: Acceptance-scale dataset size (override with REPRO_BENCH_BATCH_N).
 BATCH_BENCH_N = int(os.environ.get("REPRO_BENCH_BATCH_N", "50000"))
@@ -108,6 +108,18 @@ def test_batch_throughput(benchmark, results_dir):
     speedup = element_seconds / max(batch_seconds, 1e-9)
     print(f"\nthroughput speedup: {speedup:.1f}x (target >= {TARGET_SPEEDUP:g}x)")
     if BATCH_BENCH_N >= 50_000:
+        # Acceptance-scale runs refresh the shared perf-trajectory file;
+        # smoke runs (make ci) must not churn the committed baseline.
+        record_bench_section(
+            "batch_throughput",
+            {
+                "n": BATCH_BENCH_N,
+                "batch_size": BATCH_SIZE,
+                "element_total_s": round(element_seconds, 4),
+                "batch_total_s": round(batch_seconds, 4),
+                "speedup": round(speedup, 2),
+            },
+        )
         assert speedup >= TARGET_SPEEDUP
     else:  # smoke scale: batching must still win, but the bar is lower
         assert speedup > 1.0

@@ -38,7 +38,7 @@ from repro.parallel import ParallelFDM
 from repro.parallel.backends import usable_cpus
 from repro.parallel.summarize import StreamShardSummarizer
 
-from .conftest import BENCH_SEED, print_table, scaled_csv_name
+from .conftest import BENCH_SEED, print_table, record_bench_section, scaled_csv_name
 
 #: Acceptance-scale dataset size (override with REPRO_BENCH_PARALLEL_N).
 PARALLEL_BENCH_N = int(os.environ.get("REPRO_BENCH_PARALLEL_N", "100000"))
@@ -140,6 +140,20 @@ def test_parallel_backend_throughput(benchmark, results_dir):
         f"\nprocess/serial speedup: {speedup:.2f}x on {cpus} usable cpu(s) "
         f"(target >= {TARGET_SPEEDUP:g}x on >= 4 cpus)"
     )
+    if PARALLEL_BENCH_N >= 100_000:
+        # Acceptance-scale runs refresh the shared perf-trajectory file;
+        # smoke runs (make ci) must not churn the committed baseline.
+        record_bench_section(
+            "parallel_scaling",
+            {
+                "n": PARALLEL_BENCH_N,
+                "shards": SHARDS,
+                "cpus": cpus,
+                "serial_total_s": round(serial_seconds, 4),
+                "process_total_s": round(process_seconds, 4),
+                "process_over_serial": round(speedup, 2),
+            },
+        )
     if cpus >= 4 and PARALLEL_BENCH_N >= 100_000:
         assert speedup >= TARGET_SPEEDUP
     # On fewer cores true CPU parallelism is unavailable; the run above

@@ -13,6 +13,7 @@ variables ``REPRO_BENCH_N`` and ``REPRO_BENCH_REPS`` for a longer run.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -24,6 +25,33 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The shared perf-trajectory file at the repo root.  Every engine bench
+#: appends its headline numbers here (under its own section key) so the
+#: perf history lives in one tracked JSON; ``tools/perf_gate.py`` compares
+#: a fresh smoke run against the committed copy.  Overridable so the gate
+#: can write a scratch copy without touching the committed baseline.
+BENCH_JSON = Path(
+    os.environ.get(
+        "REPRO_BENCH_JSON", str(Path(__file__).parent.parent / "BENCH_hot_paths.json")
+    )
+)
+
+
+def record_bench_section(section: str, payload: dict) -> None:
+    """Merge ``payload`` into the shared ``BENCH_hot_paths.json`` under ``section``.
+
+    Existing sections are preserved; the target section is replaced
+    wholesale.  Keys are written sorted so diffs stay reviewable.
+    """
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 #: Default number of points per surrogate dataset in benchmark runs.
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "1000"))

@@ -82,6 +82,7 @@ from repro.parallel import (
     ShardPlanner,
     ThreadBackend,
 )
+from repro.data import ElementStore
 from repro.streaming import DataStream, Element, StreamStats, iter_batches, stream_from_arrays
 from repro.utils import (
     EmptyStreamError,
@@ -143,8 +144,9 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
-    # streaming
+    # data layer + streaming
     "Element",
+    "ElementStore",
     "DataStream",
     "StreamStats",
     "iter_batches",

@@ -9,12 +9,13 @@ as an upper bound on the fair optimum OPT_f in all quality plots.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.result import RunResult
 from repro.core.solution import Solution
+from repro.data.store import ElementStore
 from repro.metrics.base import Metric, stack_vectors
 from repro.metrics.cached import CountingMetric
 from repro.streaming.element import Element
@@ -25,7 +26,7 @@ from repro.utils.validation import require_positive_int
 
 
 def gmm_elements(
-    elements: Sequence[Element],
+    elements: Union[Sequence[Element], ElementStore],
     metric: Metric,
     k: int,
     start_index: int = 0,
@@ -36,7 +37,11 @@ def gmm_elements(
     Parameters
     ----------
     elements:
-        The candidate pool (the full dataset for the offline baseline).
+        The candidate pool (the full dataset for the offline baseline) —
+        an element sequence or, for the columnar fast path, an
+        :class:`~repro.data.store.ElementStore` (group restriction then
+        becomes a vectorized mask and only the ``k`` selected rows are ever
+        materialised as elements).
     metric:
         Distance metric.  Metrics with vectorized kernels update the
         nearest-to-selection array with one batched ``distances_to`` call
@@ -51,11 +56,25 @@ def gmm_elements(
         FairSwap and FairGMM to build group-specific candidate sets.
     """
     k = require_positive_int(k, "k")
-    pool = [
-        element
-        for element in elements
-        if restrict_group is None or element.group == restrict_group
-    ]
+    if isinstance(elements, ElementStore):
+        sub = elements
+        if restrict_group is not None:
+            sub = sub.select(np.nonzero(sub.groups == restrict_group)[0])
+        if not len(sub):
+            return []
+        if not (0 <= start_index < len(sub)):
+            raise InvalidParameterError(
+                f"start_index {start_index} out of range for a pool of {len(sub)} elements"
+            )
+        if metric.supports_batch:
+            return _gmm_store_batched(sub, metric, k, start_index)
+        pool: List[Element] = sub.elements()
+    else:
+        pool = [
+            element
+            for element in elements
+            if restrict_group is None or element.group == restrict_group
+        ]
     if not pool:
         return []
     if not (0 <= start_index < len(pool)):
@@ -82,6 +101,31 @@ def gmm_elements(
             if d < nearest[i]:
                 nearest[i] = d
     return selected
+
+
+def _gmm_store_batched(
+    store: ElementStore, metric: Metric, k: int, start_index: int
+) -> List[Element]:
+    """Columnar farthest-point greedy: selection over store rows.
+
+    Same selection sequence (and distance accounting) as
+    :func:`_gmm_elements_batched` over the corresponding element list —
+    the payload matrix is simply the store's feature matrix, and elements
+    are materialised (as zero-copy views) only for the ``k`` winners.
+    """
+    matrix = store.features
+    selected_rows = [start_index]
+    nearest = metric.distances_to(matrix[start_index], matrix)
+    nearest[start_index] = -1.0
+    while len(selected_rows) < min(k, len(store)):
+        best_index = int(np.argmax(nearest))
+        if nearest[best_index] < 0:
+            break
+        selected_rows.append(best_index)
+        distances = metric.distances_to(matrix[best_index], matrix)
+        np.minimum(nearest, distances, out=nearest)
+        nearest[best_index] = -1.0
+    return [store.element(row) for row in selected_rows]
 
 
 def _gmm_elements_batched(

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.candidate import Candidate
 from repro.core.guesses import GuessLadder
+from repro.data.store import ElementStore, store_rows_of
 from repro.metrics.base import Metric
 from repro.metrics.cached import CountingMetric
 from repro.metrics.space import exact_distance_bounds
@@ -26,6 +27,78 @@ from repro.streaming.stream import iter_batches
 from repro.utils.errors import EmptyStreamError, InvalidParameterError
 from repro.utils.timer import StageTimer
 from repro.utils.validation import require_in_open_interval
+
+
+class IngestPlan:
+    """A resolved one-pass element source, columnar when possible.
+
+    Produced by :meth:`StreamingAlgorithm._resolve_bounds` and consumed by
+    :meth:`StreamingAlgorithm._ingest`.  Exactly one of two shapes:
+
+    * **store-backed** — ``store`` is an :class:`ElementStore` and
+      ``order`` the row iteration order (``None`` for canonical order);
+      the batched ingestion then runs on store row-ranges with no
+      per-element Python work;
+    * **object-backed** — ``store`` is ``None`` and the source is the
+      buffered warmup ``prefix`` chained with the ``rest`` iterator, as in
+      the original object path.
+    """
+
+    __slots__ = ("store", "order", "prefix", "rest")
+
+    def __init__(
+        self,
+        store: Optional[ElementStore] = None,
+        order: Optional[np.ndarray] = None,
+        prefix: Optional[List[Element]] = None,
+        rest: Optional[Iterator[Element]] = None,
+    ) -> None:
+        self.store = store
+        self.order = order
+        self.prefix = prefix if prefix is not None else []
+        self.rest = rest if rest is not None else iter(())
+
+    def __len__(self) -> int:
+        if self.store is None:
+            raise TypeError("object-backed ingest plans have no known length")
+        return len(self.store) if self.order is None else int(self.order.shape[0])
+
+    def row(self, position: int) -> int:
+        """Absolute store row at iteration ``position`` (store-backed only)."""
+        return position if self.order is None else int(self.order[position])
+
+    def elements(self) -> Iterator[Element]:
+        """The one-pass element sequence, whichever shape the plan has."""
+        if self.store is not None:
+            return self.store.iter_elements(self.order)
+        return StreamingAlgorithm._chain(self.prefix, self.rest)
+
+
+def _plan_for_stream(stream: Iterable[Element]) -> Optional[IngestPlan]:
+    """A store-backed :class:`IngestPlan` for ``stream``, or ``None``.
+
+    Recognises three columnar sources: a bare :class:`ElementStore`, a
+    stream exposing ``store_plan()`` (a store-backed
+    :class:`~repro.streaming.stream.DataStream`, which resolves its shuffle
+    permutation here), and a concrete sequence whose elements are all views
+    of one store.  Generators and object-element sequences fall through to
+    the object path.
+    """
+    if isinstance(stream, ElementStore):
+        return IngestPlan(store=stream)
+    store_plan = getattr(stream, "store_plan", None)
+    if store_plan is not None:
+        resolved = store_plan()
+        if resolved is not None:
+            store, order = resolved
+            return IngestPlan(store=store, order=order)
+        return None
+    if isinstance(stream, (list, tuple)):
+        backing = store_rows_of(stream)
+        if backing is not None:
+            store, rows = backing
+            return IngestPlan(store=store, order=rows)
+    return None
 
 
 class StreamingAlgorithm:
@@ -92,18 +165,37 @@ class StreamingAlgorithm:
 
     def _resolve_bounds(
         self, stream: Iterable[Element], metric: Metric
-    ) -> Tuple[Tuple[float, float], List[Element], Iterator[Element]]:
-        """Return ``(bounds, buffered_prefix, remaining_iterator)`` for ``stream``.
+    ) -> Tuple[Tuple[float, float], IngestPlan]:
+        """Return ``(bounds, ingest_plan)`` for ``stream``.
 
-        When explicit bounds were supplied the prefix is empty and the whole
-        stream is "remaining".  Otherwise the first ``warmup_size`` elements
-        are buffered, exact bounds are computed on them, and both the buffer
-        and the rest of the stream are handed back so every element is still
-        processed exactly once.
+        Columnar sources (see :func:`_plan_for_stream`) resolve to a
+        store-backed plan whose warmup prefix is sliced from the store in
+        iteration order; other sources buffer the first ``warmup_size``
+        elements off the iterator exactly as before.  Either way every
+        element is still processed exactly once, the bound estimate is
+        computed on the same warmup elements, and explicit
+        ``distance_bounds`` skip the warmup entirely.
         """
+        plan = _plan_for_stream(stream)
+        if plan is not None:
+            total = len(plan)
+            if self.distance_bounds is not None:
+                return self.distance_bounds, plan
+            if total == 0:
+                raise EmptyStreamError(f"{self.name} received an empty stream")
+            if total == 1:
+                # A single element: any positive bounds work, the ladder is trivial.
+                return (1.0, 1.0), plan
+            warmup = [
+                plan.store.element(plan.row(position))
+                for position in range(min(self.warmup_size, total))
+            ]
+            d_min, d_max = exact_distance_bounds(warmup, metric)
+            return (d_min / 4.0, d_max * 4.0), plan
+
         iterator = iter(stream)
         if self.distance_bounds is not None:
-            return self.distance_bounds, [], iterator
+            return self.distance_bounds, IngestPlan(rest=iterator)
         buffered: List[Element] = []
         for element in iterator:
             buffered.append(element)
@@ -113,11 +205,11 @@ class StreamingAlgorithm:
             raise EmptyStreamError(f"{self.name} received an empty stream")
         if len(buffered) == 1:
             # A single element: any positive bounds work, the ladder is trivial.
-            return (1.0, 1.0), buffered, iterator
+            return (1.0, 1.0), IngestPlan(prefix=buffered, rest=iterator)
         d_min, d_max = exact_distance_bounds(buffered, metric)
         # Widen the estimate: the sample minimum overestimates the global
         # d_min and the sample maximum underestimates the global d_max.
-        return (d_min / 4.0, d_max * 4.0), buffered, iterator
+        return (d_min / 4.0, d_max * 4.0), IngestPlan(prefix=buffered, rest=iterator)
 
     def _build_ladder(self, bounds: Tuple[float, float]) -> GuessLadder:
         """Guess ladder for the resolved bounds."""
@@ -137,7 +229,7 @@ class StreamingAlgorithm:
     # ------------------------------------------------------------------
     def _ingest(
         self,
-        elements: Iterable[Element],
+        plan: IngestPlan,
         blind: List[Candidate],
         specific: Optional[List[Dict[int, Candidate]]],
         stats: StreamStats,
@@ -147,8 +239,8 @@ class StreamingAlgorithm:
 
         Parameters
         ----------
-        elements:
-            The one-pass element sequence (warmup prefix already chained).
+        plan:
+            The resolved one-pass source from :meth:`_resolve_bounds`.
         blind:
             One group-blind candidate per guess level.
         specific:
@@ -159,16 +251,22 @@ class StreamingAlgorithm:
         metric:
             The (counting) metric — consulted for batch-kernel support.
 
-        Dispatches to the batched path when ``batch_size`` is set and the
-        metric has vectorized kernels, otherwise to the scalar path.  Both
-        paths produce identical candidate contents because candidates are
-        mutually independent and each one sees the elements in stream order.
+        Dispatches to the columnar row-range path for store-backed plans in
+        batch mode, to the object batch path for object-backed plans in
+        batch mode, and to the scalar path otherwise.  All paths produce
+        identical candidate contents (and charge identical distance
+        counts) because candidates are mutually independent and each one
+        sees the elements in stream order.
         """
-        if self.batch_size is not None and self.batch_size > 1 and metric.supports_batch:
+        batched = self.batch_size is not None and self.batch_size > 1 and metric.supports_batch
+        if batched:
             stats.extra["batch_size"] = float(self.batch_size)
-            self._ingest_batches(elements, blind, specific, stats)
+        if plan.store is not None and batched:
+            self._ingest_store(plan, blind, specific, stats, metric)
+        elif batched:
+            self._ingest_batches(plan.elements(), blind, specific, stats)
         else:
-            self._ingest_elements(elements, blind, specific, stats)
+            self._ingest_elements(plan.elements(), blind, specific, stats)
 
     @staticmethod
     def _ingest_elements(
@@ -223,6 +321,83 @@ class StreamingAlgorithm:
                         if candidate is not None:
                             candidate.offer_batch(sub_elements, sub_vectors)
 
+    def _ingest_store(
+        self,
+        plan: IngestPlan,
+        blind: List[Candidate],
+        specific: Optional[List[Dict[int, Candidate]]],
+        stats: StreamStats,
+        metric: Metric,
+    ) -> None:
+        """Columnar update loop: store row-ranges, no per-element Python work.
+
+        Mirrors :meth:`_ingest_batches` decision-for-decision (same chunk
+        boundaries, same per-candidate screens, same in-chunk resolution —
+        so identical candidates and identical distance counts) while
+        removing everything the object path pays per element or per guess
+        level:
+
+        * chunks are contiguous feature-matrix slices (zero-copy in
+          canonical order, one vectorized gather per chunk under a shuffle
+          permutation);
+        * group splitting is a mask over the ``groups`` column computed
+          once per chunk;
+        * the per-level member screens are collapsed into one memoised
+          union screen per chunk (see :class:`_UnionScreen`);
+        * candidates that have reached capacity are dropped from the loop
+          instead of being re-offered a chunk they must refuse.
+        """
+        store, order = plan.store, plan.order
+        features, group_column = store.features, store.groups
+        total = len(plan)
+        size = self.batch_size
+        blind_screen = _UnionScreen(
+            [candidate for candidate in blind if not candidate.is_full]
+        )
+        group_screens: Dict[int, _UnionScreen] = {}
+        if specific is not None:
+            by_group: Dict[int, List[Candidate]] = {}
+            for per_group in specific:
+                for group, candidate in per_group.items():
+                    if not candidate.is_full:
+                        by_group.setdefault(group, []).append(candidate)
+            group_screens = {
+                group: _UnionScreen(candidates)
+                for group, candidates in by_group.items()
+            }
+        for start in range(0, total, size):
+            stop = min(start + size, total)
+            stats.elements_processed += stop - start
+            if blind_screen.exhausted and not group_screens:
+                continue
+            if order is None:
+                rows = np.arange(start, stop, dtype=np.int64)
+                vectors = features[start:stop]
+                codes = group_column[start:stop]
+            else:
+                rows = order[start:stop]
+                vectors = features[rows]
+                codes = group_column[rows]
+
+            if not blind_screen.exhausted:
+                blind_screen.process(metric, store, rows, vectors)
+            if group_screens:
+                drained = []
+                for group, screen in group_screens.items():
+                    member_positions = np.nonzero(codes == group)[0]
+                    if member_positions.size == 0:
+                        continue
+                    screen.process(
+                        metric,
+                        store,
+                        rows[member_positions],
+                        vectors[member_positions],
+                    )
+                    if screen.exhausted:
+                        drained.append(group)
+                for group in drained:
+                    del group_screens[group]
+
     @staticmethod
     def _new_stats() -> Tuple[StreamStats, StageTimer]:
         """Fresh stats object and stage timer for one run."""
@@ -242,3 +417,141 @@ class StreamingAlgorithm:
         stats.stream_distance_computations = stream_calls
         stats.postprocess_distance_computations = counting.calls - stream_calls
         stats.record_stored(stored_elements)
+
+
+class _UnionScreen:
+    """Memoised multi-candidate screen over one chunk of store rows.
+
+    Screens every chunk against each candidate's *pre-chunk* members —
+    exactly what per-candidate ``offer_batch`` calls would use, since a
+    candidate's screen never depends on another candidate's members.
+    Adjacent guess levels store heavily overlapping member sets (the union
+    of all members is ~3x smaller than their per-level sum), so the chunk
+    is evaluated against the **union** of the members once and each level's
+    row minima are reduced from the shared distance columns — the same
+    exact per-pair values a per-level ``pairwise`` would produce, hence
+    bitwise-identical decisions.
+
+    The memoisation changes the arithmetic schedule, not the algorithm:
+    every level's screen is still *charged* in full (``chunk × members``
+    through :meth:`~repro.metrics.cached.CountingMetric.charge`), so
+    distance accounting stays identical with the object batch path.
+
+    The union layout (member row indices and per-candidate column lists)
+    only changes when some candidate accepts an element or reaches
+    capacity, both of which are rare after the warm-up chunks; the layout
+    is cached between chunks and rebuilt only when the
+    ``(candidate count, total members)`` version moves — accepts strictly
+    grow the member total and prunes strictly shrink the candidate count,
+    so the version is change-exact.
+    """
+
+    __slots__ = (
+        "candidates",
+        "_version",
+        "_union_rows",
+        "_member_columns",
+        "_total_members",
+        "_fallback",
+    )
+
+    def __init__(self, candidates: List[Candidate]) -> None:
+        self.candidates = candidates
+        self._version: Optional[Tuple[int, int]] = None
+        self._union_rows: Optional[np.ndarray] = None
+        self._member_columns: List[Optional[np.ndarray]] = []
+        self._total_members = 0
+        self._fallback = False
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every candidate has reached capacity."""
+        return not self.candidates
+
+    def _rebuild(self, store: ElementStore) -> None:
+        """Recompute the union layout for the current member sets."""
+        column_of: Dict[int, int] = {}
+        union_rows: List[int] = []
+        member_columns: List[Optional[np.ndarray]] = []
+        total_members = 0
+        for candidate in self.candidates:
+            members = candidate._elements
+            if not members:
+                member_columns.append(None)
+                continue
+            total_members += len(members)
+            columns = np.empty(len(members), dtype=np.intp)
+            for position, member in enumerate(members):
+                column = column_of.get(member.uid)
+                if column is None:
+                    if member.store is not store:
+                        # A member that is not a view of this store (never
+                        # produced by this loop, but cheap to stay safe
+                        # against): screen candidate-by-candidate instead.
+                        self._fallback = True
+                        return
+                    column = len(union_rows)
+                    column_of[member.uid] = column
+                    union_rows.append(member.row)
+                columns[position] = column
+            member_columns.append(columns)
+        self._union_rows = (
+            np.asarray(union_rows, dtype=np.int64) if union_rows else None
+        )
+        self._member_columns = member_columns
+        self._total_members = total_members
+
+    def process(
+        self,
+        metric: Metric,
+        store: ElementStore,
+        rows: np.ndarray,
+        vectors: np.ndarray,
+    ) -> None:
+        """Screen one chunk and resolve each candidate's survivors."""
+        if self._fallback:
+            self._process_individually(store, rows, vectors)
+            return
+        version = (len(self.candidates), sum(len(c) for c in self.candidates))
+        if version != self._version:
+            self._rebuild(store)
+            self._version = version
+            if self._fallback:
+                self._process_individually(store, rows, vectors)
+                return
+        distances: Optional[np.ndarray] = None
+        if self._union_rows is not None:
+            union_matrix = store.features[self._union_rows]
+            distances = metric.pairwise(vectors, union_matrix)
+            charge = getattr(metric, "charge", None)
+            if charge is not None:
+                charge(
+                    vectors.shape[0]
+                    * (self._total_members - self._union_rows.shape[0])
+                )
+        filled = False
+        for candidate, columns in zip(self.candidates, self._member_columns):
+            if columns is None:
+                survivors = np.arange(rows.size)
+            else:
+                if columns.shape[0] == 1:
+                    level_min = distances[:, columns[0]]
+                else:
+                    level_min = distances[:, columns].min(axis=1)
+                survivors = np.nonzero(level_min >= candidate.mu)[0]
+            if survivors.size:
+                candidate.resolve_rows(store, rows, vectors, survivors)
+                filled |= candidate.is_full
+        if filled:
+            self.candidates = [c for c in self.candidates if not c.is_full]
+
+    def _process_individually(
+        self, store: ElementStore, rows: np.ndarray, vectors: np.ndarray
+    ) -> None:
+        """Per-candidate screening fallback (no shared union screen)."""
+        filled = False
+        for candidate in self.candidates:
+            candidate.offer_rows(store, rows, vectors)
+            filled |= candidate.is_full
+        if filled:
+            self.candidates = [c for c in self.candidates if not c.is_full]

@@ -6,16 +6,30 @@ element is at distance at least ``µ`` from everything already accepted.  By
 construction the minimum pairwise distance within a candidate is at least
 ``µ`` at all times — an invariant the tests verify directly.
 
-Two update paths exist:
+Three update paths exist:
 
 * :meth:`Candidate.offer` — the paper's element-at-a-time rule with an
   early-exit distance scan;
-* :meth:`Candidate.offer_batch` — the vectorized rule used by the batch
-  ingestion path: a whole chunk of arriving elements is screened against
-  the current members with one batched min-distance computation, and only
-  the survivors (typically few once the candidate fills) are resolved
-  sequentially against each other.  The accepted set is identical to what
-  element-at-a-time offers in the same order would produce.
+* :meth:`Candidate.offer_batch` — the vectorized rule used by the
+  object-path batch ingestion: a whole chunk of arriving elements is
+  screened against the current members with one batched min-distance
+  computation, and only the survivors (typically few once the candidate
+  fills) are resolved sequentially against each other;
+* :meth:`Candidate.offer_rows` — the columnar rule used by the
+  store-backed ingestion: the chunk arrives as row indices into an
+  :class:`~repro.data.store.ElementStore` plus an already-sliced payload
+  matrix, so no per-element Python work happens at all.  Elements are only
+  materialised (as zero-copy store views) for the rows actually accepted.
+
+All three produce the identical accepted set for the same arrival order —
+an element rejected against a prefix of the members can never be accepted
+later, because members only accumulate.
+
+Accepted member payloads are kept in a preallocated, geometrically grown
+row buffer (:attr:`_rows`), so :meth:`member_matrix` is a zero-copy slice
+of that buffer instead of a per-call re-stack of the members' vectors.
+Non-columnar payloads (categorical sequences, precomputed-matrix indices)
+fall back to the original lazily re-stacked matrix.
 """
 
 from __future__ import annotations
@@ -44,7 +58,7 @@ class Candidate:
         of other groups (used for the group-specific candidates ``S_{µ,i}``).
     """
 
-    __slots__ = ("mu", "capacity", "metric", "group", "_elements", "_matrix")
+    __slots__ = ("mu", "capacity", "metric", "group", "_elements", "_matrix", "_rows")
 
     def __init__(
         self,
@@ -58,9 +72,14 @@ class Candidate:
         self.metric = metric
         self.group = group
         self._elements: List[Element] = []
-        #: Cached stack of member payloads for the batch path; rebuilt
-        #: lazily after each accepted element.
+        #: Lazily re-stacked member matrix — only used for payloads that do
+        #: not fit the float64 row buffer (strings, scalar indices).
         self._matrix: Optional[np.ndarray] = None
+        #: Preallocated (grown geometrically, capped at ``capacity``)
+        #: float64 buffer of member payload rows; ``_rows[:len(self)]`` is
+        #: the live member matrix.  ``None`` until the first numeric accept,
+        #: and permanently ``None`` for non-columnar payloads.
+        self._rows: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -85,10 +104,47 @@ class Candidate:
         return len(self._elements) >= self.capacity
 
     def member_matrix(self) -> np.ndarray:
-        """The members' payloads stacked into one array (cached between accepts)."""
+        """The members' payloads stacked into one array.
+
+        For numeric vector payloads this is a zero-copy slice of the
+        preallocated row buffer; other payload kinds fall back to a lazily
+        cached re-stack.
+        """
+        if self._rows is not None:
+            return self._rows[: len(self._elements)]
         if self._matrix is None:
             self._matrix = np.asarray([element.vector for element in self._elements])
         return self._matrix
+
+    def _append_member(self, element: Element, row: Optional[np.ndarray] = None) -> None:
+        """Record an accepted element, maintaining the member-row buffer.
+
+        ``row`` is the element's payload as a float64 row when the caller
+        already has it sliced (the batch paths); otherwise the element's
+        own vector is used.  The buffer starts at 16 rows and doubles up to
+        ``capacity``, so appends are amortised O(d).
+        """
+        payload = element.vector if row is None else row
+        count = len(self._elements)
+        if count == 0 and (
+            isinstance(payload, np.ndarray)
+            and payload.ndim == 1
+            and payload.dtype.kind == "f"
+        ):
+            size = max(1, min(self.capacity, 16))
+            self._rows = np.empty((size, payload.shape[0]), dtype=np.float64)
+        if self._rows is not None:
+            if count >= self._rows.shape[0]:
+                grown = np.empty(
+                    (min(self.capacity, max(1, 2 * self._rows.shape[0])), self._rows.shape[1]),
+                    dtype=np.float64,
+                )
+                grown[:count] = self._rows[:count]
+                self._rows = grown
+            self._rows[count] = payload
+        else:
+            self._matrix = None
+        self._elements.append(element)
 
     # ------------------------------------------------------------------
     # Streaming update
@@ -124,8 +180,7 @@ class Candidate:
         for member in self._elements:
             if distance(vector, member.vector) < self.mu:
                 return False
-        self._elements.append(element)
-        self._matrix = None
+        self._append_member(element)
         return True
 
     def offer_batch(
@@ -150,7 +205,8 @@ class Candidate:
         members is below ``µ`` can never be accepted later in the chunk
         (members only accumulate), so the batched pre-screen rejects exactly
         the elements the scalar rule would; the surviving elements are then
-        resolved sequentially against the members accepted within the chunk.
+        resolved round-by-round against the members accepted within the
+        chunk (see :meth:`_resolve_survivors` for the equivalence argument).
         """
         if self.is_full or not elements:
             return 0
@@ -169,24 +225,93 @@ class Candidate:
             survivor_indices = np.nonzero(min_distances >= self.mu)[0]
         else:
             survivor_indices = np.arange(len(elements))
-        if survivor_indices.size == 0:
-            return 0
+        return self._resolve_survivors(
+            vectors, survivor_indices, lambda i: elements[i]
+        )
 
+    def _resolve_survivors(self, vectors, survivor_indices, materialise) -> int:
+        """Accept pre-screened chunk survivors, resolving them against each other.
+
+        ``survivor_indices`` (ascending positions into ``vectors``) are the
+        chunk elements at distance at least ``µ`` from every *pre-chunk*
+        member.  The rule implemented here is round-based: the first alive
+        survivor is accepted (nothing accepted this chunk is close to it),
+        one batched distance computation then eliminates every remaining
+        survivor within ``µ`` of it, and the process repeats until capacity
+        or exhaustion.
+
+        This accepts exactly the elements the element-at-a-time
+        :meth:`offer` loop would: by induction, the alive list holds the
+        survivors at distance ``>= µ`` from everything accepted so far, so
+        its head is precisely the next element the sequential scan accepts,
+        and the ones skipped between two accepted heads are precisely the
+        ones the sequential scan rejects.  One distance computation per
+        *accepted* element (at most ``capacity`` per chunk) replaces one
+        per surviving element — the schedule changes, the decisions do not.
+        """
         accepted = 0
-        new_rows: List[np.ndarray] = []
-        for i in survivor_indices:
-            if self.is_full:
-                break
-            vector = vectors[i]
-            if new_rows:
-                in_chunk = self.metric.distances_to(vector, np.asarray(new_rows))
-                if float(in_chunk.min()) < self.mu:
-                    continue
-            self._elements.append(elements[int(i)])
-            self._matrix = None
-            new_rows.append(vector)
+        alive = survivor_indices
+        while alive.size and not self.is_full:
+            index = int(alive[0])
+            self._append_member(materialise(index), row=vectors[index])
             accepted += 1
+            alive = alive[1:]
+            if not alive.size or self.is_full:
+                break
+            distances = self.metric.distances_to(vectors[index], vectors[alive])
+            alive = alive[distances >= self.mu]
         return accepted
+
+    def offer_rows(self, store, rows: np.ndarray, vectors: Optional[np.ndarray] = None) -> int:
+        """Columnar batch update: offer store rows instead of element objects.
+
+        Parameters
+        ----------
+        store:
+            The :class:`~repro.data.store.ElementStore` the rows index into.
+        rows:
+            Absolute store row indices of the chunk, in stream order.  For
+            group-specific candidates the caller must pre-filter the rows
+            by group (a vectorized mask over ``store.groups``); no
+            per-element safety net runs here.
+        vectors:
+            Optional pre-sliced ``store.features[rows]`` aligned with
+            ``rows``; avoids slicing once per guess level.
+
+        The accept/reject sequence — and the number of distances charged —
+        is identical to :meth:`offer_batch` over the same elements: the
+        same pre-chunk screen (through the fused ``pairwise_min`` kernel,
+        which is bitwise equal to ``pairwise(...).min(axis=1)``) followed
+        by the same round-based in-chunk resolution.  Accepted rows are
+        materialised as zero-copy store views; rejected rows never become
+        objects at all.
+        """
+        if self.is_full or rows.size == 0:
+            return 0
+        if vectors is None:
+            vectors = store.features[rows]
+        if self._elements:
+            min_distances = self.metric.pairwise_min(vectors, self.member_matrix())
+            survivor_indices = np.nonzero(min_distances >= self.mu)[0]
+        else:
+            survivor_indices = np.arange(rows.size)
+        return self.resolve_rows(store, rows, vectors, survivor_indices)
+
+    def resolve_rows(
+        self, store, rows: np.ndarray, vectors: np.ndarray, survivor_indices: np.ndarray
+    ) -> int:
+        """In-chunk resolution for store rows whose pre-screen already ran.
+
+        The consolidated ingestion path screens a whole chunk against every
+        guess level with one segmented kernel call and then hands each
+        candidate its own survivors here; :meth:`offer_rows` is the
+        self-contained equivalent for callers without a shared screen.
+        """
+        if self.is_full or survivor_indices.size == 0:
+            return 0
+        return self._resolve_survivors(
+            vectors, survivor_indices, lambda i: store.element(int(rows[i]))
+        )
 
     # ------------------------------------------------------------------
     # Inspection

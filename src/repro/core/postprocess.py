@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.data.store import store_rows_of
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric, stack_vectors
 from repro.streaming.element import Element
@@ -27,11 +28,18 @@ def distance_to_set(element: Element, subset: Sequence[Element], metric: Metric)
     """``d(x, S)``; infinity for an empty ``S``.
 
     Uses the metric's batched ``distances_to`` kernel when available and
-    ``S`` has more than one member; falls back to the scalar scan otherwise.
+    ``S`` has more than one member; falls back to the scalar scan
+    otherwise.  When ``element`` and the whole subset are views of one
+    :class:`~repro.data.store.ElementStore` the computation routes through
+    the index-based ``distances_idx`` kernel, slicing the store directly.
     """
     if not subset:
         return float("inf")
     if metric.supports_batch and len(subset) > 1:
+        backing = store_rows_of(subset)
+        if backing is not None and getattr(element, "store", None) is backing[0]:
+            store, rows = backing
+            return float(metric.distances_idx(store, element.row, rows).min())
         return float(metric.distances_to(element.vector, stack_vectors(subset)).min())
     return min(metric.distance(element.vector, member.vector) for member in subset)
 
@@ -150,7 +158,11 @@ def cluster_elements(
     items = list(unique.values())
     uf = _UnionFind([element.uid for element in items])
     if metric.supports_batch and len(items) > 1:
-        matrix = metric.pairwise(stack_vectors(items))
+        backing = store_rows_of(items)
+        if backing is not None:
+            matrix = metric.pairwise_idx(backing[0], backing[1])
+        else:
+            matrix = metric.pairwise(stack_vectors(items))
         close = np.triu(matrix < threshold, k=1)
         for i, j in zip(*np.nonzero(close)):
             uf.union(items[int(i)].uid, items[int(j)].uid)
@@ -237,11 +249,20 @@ def _greedy_fair_fill_batched(
     Keeps, for every pool candidate, its distance to the current selection
     in one array and takes the arg-max over the quota-eligible entries each
     round — the same greedy choice (with the same first-index tie-breaking)
-    as the scalar loop.
+    as the scalar loop.  Store-backed pools gather the payload matrix and
+    the group/uid columns straight from the store instead of looping over
+    the elements.
     """
-    matrix = stack_vectors(candidates)
-    pool_groups = np.array([element.group for element in candidates])
-    pool_uids = np.array([element.uid for element in candidates])
+    backing = store_rows_of(candidates)
+    if backing is not None:
+        store, rows = backing
+        matrix = store.features[rows]
+        pool_groups = store.groups[rows]
+        pool_uids = store.uids[rows]
+    else:
+        matrix = stack_vectors(candidates)
+        pool_groups = np.array([element.group for element in candidates])
+        pool_uids = np.array([element.uid for element in candidates])
     taken = np.zeros(len(candidates), dtype=bool)
     if selection:
         nearest = np.full(len(candidates), np.inf)

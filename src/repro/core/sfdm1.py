@@ -84,7 +84,7 @@ class SFDM1(StreamingAlgorithm):
         groups = self.constraint.groups
 
         with stages.stage("stream"):
-            bounds, prefix, rest = self._resolve_bounds(stream, counting)
+            bounds, plan = self._resolve_bounds(stream, counting)
             ladder = self._build_ladder(bounds)
             blind: List[Candidate] = []
             specific: List[Dict[int, Candidate]] = []
@@ -101,7 +101,7 @@ class SFDM1(StreamingAlgorithm):
                         for group in groups
                     }
                 )
-            self._ingest(self._chain(prefix, rest), blind, specific, stats, counting)
+            self._ingest(plan, blind, specific, stats, counting)
         stream_calls = counting.calls
 
         with stages.stage("postprocess"):

@@ -72,12 +72,12 @@ class StreamingDiversityMaximization(StreamingAlgorithm):
         counting = self._counting_metric()
         stats, stages = self._new_stats()
         with stages.stage("stream"):
-            bounds, prefix, rest = self._resolve_bounds(stream, counting)
+            bounds, plan = self._resolve_bounds(stream, counting)
             ladder = self._build_ladder(bounds)
             candidates = [
                 Candidate(mu=mu, capacity=self.k, metric=counting) for mu in ladder
             ]
-            self._ingest(self._chain(prefix, rest), candidates, None, stats, counting)
+            self._ingest(plan, candidates, None, stats, counting)
         stream_calls = counting.calls
 
         with stages.stage("postprocess"):

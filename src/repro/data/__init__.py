@@ -1,0 +1,6 @@
+"""Columnar data layer: elements and the structure-of-arrays :class:`ElementStore`."""
+
+from repro.data.element import Element
+from repro.data.store import ElementStore, store_rows_of
+
+__all__ = ["Element", "ElementStore", "store_rows_of"]

@@ -1,0 +1,95 @@
+"""The basic unit flowing through a stream: an identified, grouped point."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+
+def _coerce_payload(vector: Any) -> Any:
+    """Normalise a numeric payload to a C-contiguous float64 array, once.
+
+    The batch kernels consume payloads via ``np.asarray(..., dtype=float)``;
+    coercing at ingestion means that conversion is a no-op on every kernel
+    call afterwards (the no-copy regression test pins this).  Non-numeric
+    payloads — categorical Hamming sequences, the scalar indices of
+    ``PrecomputedMetric`` — pass through untouched, as does anything the
+    caller already shaped deliberately (0-d arrays, matrices).
+    """
+    if isinstance(vector, (list, tuple)):
+        return np.ascontiguousarray(vector, dtype=np.float64)
+    if isinstance(vector, np.ndarray) and vector.ndim == 1 and vector.dtype.kind in "fiub":
+        return np.ascontiguousarray(vector, dtype=np.float64)
+    return vector
+
+
+class Element:
+    """One data point: an identifier, a feature payload, and a group label.
+
+    Parameters
+    ----------
+    uid:
+        A unique integer identifier.  Identity, hashing, and equality are
+        all based on ``uid`` so that elements can be stored in sets and
+        dictionaries without hashing the (mutable, possibly large) payload.
+    vector:
+        The feature payload handed to the metric.  Numeric 1-D payloads
+        (lists, tuples, numeric arrays) are coerced once to C-contiguous
+        float64 so the batch kernels never pay a per-call conversion; other
+        payloads (categorical sequences, precomputed-matrix indices) are
+        stored as given.
+    group:
+        The sensitive-attribute group label, an integer in ``[0, m)``.
+    label:
+        Optional human-readable annotation (e.g. "female/young") used only
+        for reporting.
+
+    An element may additionally be a *view* into a columnar
+    :class:`~repro.data.store.ElementStore`: the ``store``/``row``
+    back-pointers (set by :meth:`ElementStore.element`, ``None``/``-1``
+    otherwise) let bulk consumers gather payload matrices straight from the
+    store instead of re-stacking per-element vectors.  Views pickle as
+    plain elements — the payload row is copied and the back-pointers are
+    dropped — so shipping a few summary elements across a process boundary
+    never drags the whole store along.
+    """
+
+    __slots__ = ("uid", "vector", "group", "label", "store", "row")
+
+    def __init__(self, uid: int, vector: Any, group: int = 0, label: Optional[str] = None) -> None:
+        self.uid = int(uid)
+        self.vector = _coerce_payload(vector)
+        self.group = int(group)
+        self.label = label
+        #: Back-pointer to the owning ElementStore when this element is a
+        #: columnar view; ``None`` for standalone elements.
+        self.store = None
+        #: Row index within ``store`` (``-1`` for standalone elements).
+        self.row = -1
+
+    def __getstate__(self) -> Tuple[int, Any, int, Optional[str]]:
+        # Detach from the store: pickle only this element's own payload
+        # (NumPy serialises just the view's visible data), never the store.
+        return (self.uid, self.vector, self.group, self.label)
+
+    def __setstate__(self, state: Tuple[int, Any, int, Optional[str]]) -> None:
+        self.uid, self.vector, self.group, self.label = state
+        self.store = None
+        self.row = -1
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Element):
+            return NotImplemented
+        return self.uid == other.uid
+
+    def __lt__(self, other: "Element") -> bool:
+        # Ordering by uid gives deterministic tie-breaking in sorts.
+        return self.uid < other.uid
+
+    def __repr__(self) -> str:
+        label = f", label={self.label!r}" if self.label is not None else ""
+        return f"Element(uid={self.uid}, group={self.group}{label})"

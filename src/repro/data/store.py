@@ -1,0 +1,277 @@
+"""Columnar element storage: the structure-of-arrays ``ElementStore``.
+
+The streaming algorithms spend their wall-clock in NumPy distance kernels;
+what used to surround those kernels was Python object plumbing — every
+layer re-packed per-:class:`~repro.streaming.element.Element` payloads into
+fresh arrays (one list comprehension per chunk *per guess level* during
+ingestion, one re-stack per post-processing call, one pickle per element on
+the way to process workers).  The :class:`ElementStore` fixes the data
+layout instead: one C-contiguous float64 ``features[n, d]`` matrix plus
+int64 ``groups[n]`` / ``uids[n]`` columns, so that
+
+* contiguous row-ranges are zero-copy slices handed straight to the batch
+  kernels (``store.features[a:b]`` shares memory with the store);
+* group filtering is a vectorized mask over ``groups`` rather than a
+  Python loop over elements;
+* shipping a shard to a process worker pickles three arrays instead of
+  thousands of ``Element`` objects.
+
+``Element`` survives as a *thin view*: :meth:`ElementStore.element` returns
+an ordinary :class:`~repro.streaming.element.Element` whose ``vector`` is a
+zero-copy row view of ``features`` and whose ``store``/``row`` back-pointers
+let consumers (``stack_vectors``, the ``*_idx`` metric kernels, the shard
+packer) recover columnar access from an element list without copying.
+Everything that accepts elements keeps working; everything hot gets to
+bypass them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.element import Element
+from repro.utils.errors import InvalidParameterError
+
+#: Row addressing accepted by :meth:`ElementStore.rows`: a basic slice
+#: (zero-copy) or an integer index array (one vectorized gather).
+RowIndexer = Union[slice, np.ndarray, Sequence[int]]
+
+
+class ElementStore:
+    """Columnar (structure-of-arrays) storage for a set of elements.
+
+    Parameters
+    ----------
+    features:
+        ``(n, d)`` feature matrix; coerced once, at construction, to a
+        C-contiguous float64 array so no kernel ever pays a per-call
+        conversion.  A 1-D input is treated as ``n`` one-dimensional
+        payloads.
+    groups:
+        ``n`` integer group labels (int64 column).
+    uids:
+        ``n`` unique integer identifiers; defaults to ``0..n-1``.
+    labels:
+        Optional per-element human-readable annotations (kept as a plain
+        list; labels are reporting-only and never touch a hot path).
+    """
+
+    __slots__ = ("features", "groups", "uids", "labels")
+
+    def __init__(
+        self,
+        features: Any,
+        groups: Any,
+        uids: Optional[Any] = None,
+        labels: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        features = np.ascontiguousarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if features.ndim != 2:
+            raise InvalidParameterError(
+                f"features must be a 2-D (n, d) matrix, got ndim={features.ndim}"
+            )
+        n = features.shape[0]
+        groups = np.ascontiguousarray(groups, dtype=np.int64)
+        if groups.shape != (n,):
+            raise InvalidParameterError(
+                f"groups must be a length-{n} vector, got shape {groups.shape}"
+            )
+        if uids is None:
+            uids = np.arange(n, dtype=np.int64)
+        else:
+            uids = np.ascontiguousarray(uids, dtype=np.int64)
+            if uids.shape != (n,):
+                raise InvalidParameterError(
+                    f"uids must be a length-{n} vector, got shape {uids.shape}"
+                )
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != n:
+                raise InvalidParameterError(
+                    f"labels must have length {n}, got {len(labels)}"
+                )
+            if not any(label is not None for label in labels):
+                labels = None
+        self.features = features
+        self.groups = groups
+        self.uids = uids
+        self.labels = labels
+
+    # ------------------------------------------------------------------
+    # Construction from object-path data
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_elements(cls, elements: Sequence[Element]) -> "ElementStore":
+        """Columnarise an element list (raises for non-uniform payloads).
+
+        When every element is already a view of one parent store, the
+        columns are gathered with three vectorized fancy-index operations
+        instead of per-element stacking — this is how shard stores are cut
+        out of a dataset store.
+        """
+        if not len(elements):
+            return cls(np.empty((0, 1)), np.empty(0, dtype=np.int64))
+        backing = store_rows_of(elements)
+        if backing is not None:
+            parent, rows = backing
+            labels = (
+                None
+                if parent.labels is None
+                else [parent.labels[int(i)] for i in rows]
+            )
+            return cls(
+                parent.features[rows],
+                parent.groups[rows],
+                uids=parent.uids[rows],
+                labels=labels,
+            )
+        payloads = [element.vector for element in elements]
+        features = np.asarray(payloads, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if features.ndim != 2:
+            raise InvalidParameterError(
+                "element payloads are not uniformly stackable into an (n, d) matrix"
+            )
+        return cls(
+            features,
+            np.fromiter((e.group for e in elements), dtype=np.int64, count=len(elements)),
+            uids=np.fromiter((e.uid for e in elements), dtype=np.int64, count=len(elements)),
+            labels=[element.label for element in elements],
+        )
+
+    @classmethod
+    def try_from_elements(cls, elements: Sequence[Element]) -> Optional["ElementStore"]:
+        """Like :meth:`from_elements` but ``None`` for non-columnar payloads.
+
+        Ragged, categorical (string), and scalar-index payloads (e.g. the
+        :class:`~repro.metrics.matrix.PrecomputedMetric` indices) stay on
+        the object path; numeric vector payloads get the columnar layout.
+        """
+        try:
+            for element in elements:
+                payload = element.vector
+                if not isinstance(payload, np.ndarray) or payload.ndim != 1:
+                    return None
+                if payload.dtype.kind not in "fiub":
+                    return None
+            return cls.from_elements(elements)
+        except (InvalidParameterError, TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Shape and addressing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Feature dimensionality ``d``."""
+        return self.features.shape[1]
+
+    def rows(self, indexer: RowIndexer) -> np.ndarray:
+        """Feature rows for ``indexer``.
+
+        A basic slice returns a zero-copy view into ``features`` (pinned by
+        the no-copy regression test); an index array performs one
+        vectorized gather.
+        """
+        return self.features[indexer]
+
+    def element(self, row: int) -> Element:
+        """A thin :class:`Element` view of one row (zero-copy payload)."""
+        row = int(row)
+        view = Element(
+            uid=int(self.uids[row]),
+            vector=self.features[row],
+            group=int(self.groups[row]),
+            label=None if self.labels is None else self.labels[row],
+        )
+        view.store = self
+        view.row = row
+        return view
+
+    def elements(self, order: Optional[Iterable[int]] = None) -> List[Element]:
+        """Element views for every row (or for ``order``), as a list."""
+        if order is None:
+            return [self.element(row) for row in range(len(self))]
+        return [self.element(int(row)) for row in order]
+
+    def iter_elements(self, order: Optional[Iterable[int]] = None) -> Iterator[Element]:
+        """Lazily yield element views in row order (or in ``order``)."""
+        if order is None:
+            order = range(len(self))
+        for row in order:
+            yield self.element(int(row))
+
+    # ------------------------------------------------------------------
+    # Derived stores
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "ElementStore":
+        """Sub-store over the contiguous row-range ``[start, stop)``.
+
+        The columns of the result are zero-copy views of this store's
+        columns (basic slices share memory).
+        """
+        return self._wrap(slice(start, stop))
+
+    def select(self, rows: RowIndexer) -> "ElementStore":
+        """Sub-store over arbitrary rows (one vectorized gather per column)."""
+        return self._wrap(np.asarray(rows, dtype=np.int64) if not isinstance(rows, slice) else rows)
+
+    def _wrap(self, indexer: RowIndexer) -> "ElementStore":
+        """Build a sub-store without re-validating the columns."""
+        sub = ElementStore.__new__(ElementStore)
+        sub.features = self.features[indexer]
+        sub.groups = self.groups[indexer]
+        sub.uids = self.uids[indexer]
+        if self.labels is None:
+            sub.labels = None
+        elif isinstance(indexer, slice):
+            sub.labels = self.labels[indexer]
+        else:
+            sub.labels = [self.labels[int(i)] for i in np.asarray(indexer)]
+        return sub
+
+    def group_rows(self) -> "dict[int, np.ndarray]":
+        """Mapping from group label to the (ascending) rows of that group."""
+        order = np.argsort(self.groups, kind="stable")
+        values, starts = np.unique(self.groups[order], return_index=True)
+        splits = np.split(order, starts[1:])
+        return {int(value): np.sort(rows) for value, rows in zip(values, splits)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ElementStore(n={len(self)}, d={self.dim}, "
+            f"groups={len(np.unique(self.groups))})"
+        )
+
+
+def store_rows_of(
+    elements: Sequence[Element],
+) -> Optional[Tuple[ElementStore, np.ndarray]]:
+    """``(store, rows)`` when every element is a view of one store, else ``None``.
+
+    This is the bridge that lets element-list APIs (post-processing, the
+    offline baselines, ``stack_vectors``) recover columnar access: if the
+    list came out of one :class:`ElementStore`, its payload matrix is a
+    single vectorized gather ``store.features[rows]`` instead of a
+    per-element re-stack.
+    """
+    if not len(elements):
+        return None
+    first = elements[0]
+    store = getattr(first, "store", None)
+    if store is None:
+        return None
+    rows = np.empty(len(elements), dtype=np.int64)
+    for position, element in enumerate(elements):
+        if getattr(element, "store", None) is not store:
+            return None
+        rows[position] = element.row
+    return store, rows

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.data.store import ElementStore
 from repro.metrics.base import Metric
 from repro.metrics.space import MetricSpace
 from repro.streaming.element import Element
@@ -35,6 +36,8 @@ class DatasetSpec:
     metric: Metric
     group_names: Dict[int, str] = field(default_factory=dict)
     notes: str = ""
+    _store: Optional[ElementStore] = field(default=None, init=False, repr=False, compare=False)
+    _store_resolved: bool = field(default=False, init=False, repr=False, compare=False)
 
     @property
     def size(self) -> int:
@@ -53,8 +56,28 @@ class DatasetSpec:
             sizes[element.group] = sizes.get(element.group, 0) + 1
         return sizes
 
+    def columnar(self) -> Optional[ElementStore]:
+        """The dataset as a columnar :class:`ElementStore`, built lazily once.
+
+        ``None`` when the payloads are not uniformly numeric (ragged or
+        categorical data stays on the object path).
+        """
+        if not self._store_resolved:
+            self._store = ElementStore.try_from_elements(self.elements)
+            self._store_resolved = True
+        return self._store
+
     def stream(self, seed: Optional[int] = None) -> DataStream:
-        """A one-pass stream over the dataset, shuffled with ``seed`` if given."""
+        """A one-pass stream over the dataset, shuffled with ``seed`` if given.
+
+        Numeric datasets stream from the columnar store (zero-copy row
+        views, store-aware ingestion); others stream the element list.  The
+        element order — and therefore every algorithm's output — is
+        identical either way.
+        """
+        store = self.columnar()
+        if store is not None:
+            return DataStream(store=store, shuffle_seed=seed, name=self.name)
         return DataStream(self.elements, shuffle_seed=seed, name=self.name)
 
     def space(self) -> MetricSpace:

@@ -30,6 +30,8 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.data.store import store_rows_of
+
 
 class Metric(ABC):
     """Base class for distance functions between element payloads."""
@@ -97,6 +99,42 @@ class Metric(ABC):
                 out[i, j] = self.distance(x, y)
         return out
 
+    def pairwise_min(self, X: Any, Y: Any) -> np.ndarray:
+        """Row-wise minimum of :meth:`pairwise`: ``min_j d(X[i], Y[j])``.
+
+        This is the candidate screening primitive of the streaming
+        algorithms — a whole chunk against the current members, keeping
+        only each row's nearest distance.  The base implementation
+        materialises the full matrix; metrics may override it with a fused
+        kernel that skips work which cannot affect the row minima (the
+        Euclidean metric defers the square root to the reduced vector).
+        Overrides must agree with ``pairwise(X, Y).min(axis=1)`` bitwise so
+        screening decisions are independent of the code path.
+        """
+        return self.pairwise(X, Y).min(axis=1)
+
+    def distances_idx(self, store: Any, row: int, indexer: Any) -> np.ndarray:
+        """Distances from store row ``row`` to the store rows in ``indexer``.
+
+        Index-based counterpart of :meth:`distances_to`: both sides are
+        sliced straight out of an
+        :class:`~repro.data.store.ElementStore`'s contiguous feature
+        matrix, so a basic-slice ``indexer`` reaches the kernel with zero
+        copies.
+        """
+        return self.distances_to(store.features[int(row)], store.rows(indexer))
+
+    def pairwise_idx(self, store: Any, rows: Any, cols: Optional[Any] = None) -> np.ndarray:
+        """Distance matrix between two sets of store rows.
+
+        Index-based counterpart of :meth:`pairwise` over an
+        :class:`~repro.data.store.ElementStore`; ``cols=None`` computes the
+        self-distance matrix of ``rows``.
+        """
+        return self.pairwise(
+            store.rows(rows), None if cols is None else store.rows(cols)
+        )
+
     def __call__(self, x: Any, y: Any) -> float:
         """Alias for :meth:`distance` so metrics can be used as callables."""
         return self.distance(x, y)
@@ -111,10 +149,17 @@ def stack_vectors(elements: Sequence[Any]) -> np.ndarray:
     Rows follow the order of ``elements``; the dtype is whatever
     ``np.asarray`` infers from the payloads (float for numeric vectors,
     object/str for categorical Hamming payloads, int for precomputed-matrix
-    indices).  Lives here — the leaf module of the metrics layer — so the
+    indices).  When every element is a view of one
+    :class:`~repro.data.store.ElementStore`, the payload matrix is gathered
+    with a single vectorized ``features[rows]`` instead of a per-element
+    re-stack.  Lives here — the leaf module of the metrics layer — so the
     batch-kernel call sites in ``core`` can import it without creating
     import cycles through the streaming package.
     """
+    backing = store_rows_of(elements)
+    if backing is not None:
+        store, rows = backing
+        return store.features[rows]
     return np.asarray([element.vector for element in elements])
 
 

@@ -9,6 +9,7 @@ the same pairs many times.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 import numpy as np
@@ -53,6 +54,30 @@ class CountingMetric(Metric):
         self.calls += int(result.shape[0] * result.shape[1])
         return result
 
+    def pairwise_min(self, X: Any, Y: Any) -> np.ndarray:
+        """Fused row-minimum screen via the wrapped metric.
+
+        Charged exactly like the :meth:`pairwise` it replaces —
+        ``len(X) * len(Y)`` scalar distances — so screening through the
+        fused kernel and screening through the full matrix stay comparable
+        in the paper's accounting.
+        """
+        result = self.inner.pairwise_min(X, Y)
+        self.calls += int(result.shape[0]) * int(np.shape(Y)[0])
+        return result
+
+    def charge(self, count: int) -> None:
+        """Add ``count`` nominal distance evaluations to the counter.
+
+        Used by engine paths that memoise identical distance computations
+        (e.g. the columnar ingestion's union screen, which evaluates each
+        (chunk element, stored point) pair once and reuses it across every
+        guess level containing that point): the *algorithm's* per-level
+        cost is charged in full even though the arithmetic ran once, so
+        the paper's accounting stays identical across engine paths.
+        """
+        self.calls += int(count)
+
     def reset(self) -> None:
         """Zero the call counter."""
         self.calls = 0
@@ -68,15 +93,29 @@ class CachedMetric(Metric):
     caching pass a ``key`` function mapping a payload to a hashable id — the
     algorithms in this library use the element identifier.  When no key is
     available the metric falls through to the inner metric uncached.
+
+    The memo dictionary is **bounded**: once ``maxsize`` entries are cached
+    the least-recently-used pair is evicted to admit a new one, so long
+    offline-baseline runs (which probe ``O(n·k)`` distinct pairs) hold the
+    working set rather than every pair ever seen.  Pass ``maxsize=None``
+    for the old unbounded behaviour.  :meth:`stats` reports hit/miss/
+    eviction counters and the current occupancy.
     """
 
-    def __init__(self, inner: Metric, maxsize: Optional[int] = None) -> None:
+    #: Default memo capacity (entries).  A float plus its two-tuple key
+    #: costs ~150 bytes, so the default bounds the cache near 150 MB.
+    DEFAULT_MAXSIZE = 1 << 20
+
+    def __init__(self, inner: Metric, maxsize: Optional[int] = DEFAULT_MAXSIZE) -> None:
         self.inner = inner
         self.name = f"cached({inner.name})"
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be positive or None, got {maxsize}")
         self.maxsize = maxsize
-        self._cache: Dict[Tuple[Hashable, Hashable], float] = {}
+        self._cache: "OrderedDict[Tuple[Hashable, Hashable], float]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def supports_batch(self) -> bool:
@@ -96,25 +135,46 @@ class CachedMetric(Metric):
         return self.inner.pairwise(X, Y)
 
     def distance_keyed(self, key_x: Hashable, x: Any, key_y: Hashable, y: Any) -> float:
-        """Distance between payloads ``x``/``y`` memoised under ``(key_x, key_y)``."""
+        """Distance between payloads ``x``/``y`` memoised under ``(key_x, key_y)``.
+
+        A cache hit refreshes the pair's recency; a miss computes the
+        distance, inserts it, and — at capacity — evicts the least recently
+        used pair.
+        """
         if key_x == key_y:
             return 0.0
         cache_key = (key_x, key_y) if key_x <= key_y else (key_y, key_x)
         cached = self._cache.get(cache_key)
         if cached is not None:
             self.hits += 1
+            self._cache.move_to_end(cache_key)
             return cached
         self.misses += 1
         value = self.inner.distance(x, y)
-        if self.maxsize is None or len(self._cache) < self.maxsize:
-            self._cache[cache_key] = value
+        if self.maxsize is not None and len(self._cache) >= self.maxsize:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+        self._cache[cache_key] = value
         return value
 
+    def stats(self) -> Dict[str, float]:
+        """Occupancy and effectiveness counters for the memo dictionary."""
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._cache),
+            "capacity": float("inf") if self.maxsize is None else self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
     def clear(self) -> None:
-        """Drop all memoised entries and reset hit/miss counters."""
+        """Drop all memoised entries and reset hit/miss/eviction counters."""
         self._cache.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._cache)

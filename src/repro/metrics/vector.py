@@ -87,6 +87,25 @@ class EuclideanMetric(Metric):
             out[start : start + rows.shape[0]] = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
         return out
 
+    def pairwise_min(self, X: Any, Y: Any) -> np.ndarray:
+        """Fused ``pairwise(X, Y).min(axis=1)`` deferring the square root.
+
+        The row minimum of the squared distances identifies the same entry
+        as the row minimum of the distances (``sqrt`` is monotone and
+        correctly rounded), so taking ``sqrt`` only of the reduced vector
+        is bitwise identical to reducing the full distance matrix — while
+        skipping ``n·m - n`` square roots per screen.
+        """
+        A = _as_batch(X)
+        B = _as_batch(Y)
+        out = np.empty(A.shape[0], dtype=float)
+        for start, rows in _row_chunks(A, B.shape[0]):
+            diff = rows[:, None, :] - B[None, :, :]
+            out[start : start + rows.shape[0]] = np.einsum("ijk,ijk->ij", diff, diff).min(
+                axis=1
+            )
+        return np.sqrt(out, out=out)
+
 
 class ManhattanMetric(Metric):
     """The Manhattan (L1) distance ``sum_i |x_i - y_i|``."""

@@ -6,11 +6,11 @@ The driver stitches the parallel layer together:
    (group-stratified by default, so small protected groups are spread
    across shards rather than stranded in one);
 2. every shard is summarised on a
-   :class:`~repro.parallel.backends.Backend` worker — packed into a
-   compact, pickle-cheap payload first (uid / group / feature arrays
-   instead of 25 000 individual ``Element`` pickles) when the backend
-   crosses a process boundary, and handed over untouched for the
-   in-process backends — with a
+   :class:`~repro.parallel.backends.Backend` worker — cut out as a
+   columnar :class:`~repro.data.store.ElementStore` (three arrays pickle
+   orders of magnitude faster than 25 000 individual ``Element``
+   pickles) when the backend crosses a process boundary, and handed over
+   untouched for the in-process backends — with a
    :class:`~repro.parallel.summarize.ShardSummarizer` — by default the
    per-group GMM composable coreset, computed with the vectorized batch
    kernels;
@@ -31,13 +31,14 @@ never affects the solution — only where and how fast the shard work runs
 
 from __future__ import annotations
 
-from typing import Any, List, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import List, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.postprocess import greedy_fair_fill
 from repro.core.result import RunResult
 from repro.core.solution import FairSolution
+from repro.data.store import ElementStore
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric
 from repro.metrics.cached import CountingMetric
@@ -52,64 +53,52 @@ from repro.utils.timer import Timer
 from repro.utils.validation import require_positive_int
 
 
-class _PackedShard(NamedTuple):
-    """Pickle-cheap shard representation shipped to process workers."""
+class _ColumnShard(NamedTuple):
+    """Compact fallback shipping for shards whose payloads are not columnar.
 
-    uids: np.ndarray
-    groups: np.ndarray
-    #: Either one ``(n, d)`` numeric matrix or the raw payload list when
-    #: the payloads are not uniformly stackable (strings, ragged arrays).
-    vectors: Any
-    #: Per-element labels, or ``None`` when no element carries one.
+    Ragged or categorical payloads cannot become an
+    :class:`~repro.data.store.ElementStore`, but the uid/group columns
+    (and the label sparsity check) still pickle far cheaper as flat arrays
+    than as per-element attribute dictionaries; only the raw payload list
+    crosses the boundary as objects.
+    """
+
+    uids: "np.ndarray"
+    groups: "np.ndarray"
+    payloads: List
     labels: Optional[List[Optional[str]]]
+
+    def elements(self) -> List[Element]:
+        """Rebuild the element list a worker operates on."""
+        labels = self.labels
+        return [
+            Element(
+                uid=int(self.uids[index]),
+                vector=self.payloads[index],
+                group=int(self.groups[index]),
+                label=None if labels is None else labels[index],
+            )
+            for index in range(len(self.payloads))
+        ]
 
 
 class _ShardJob(NamedTuple):
     """One unit of backend work: a shard plus the summarizer config.
 
-    ``shard`` is a :class:`_PackedShard` when the backend ships tasks
-    across a process boundary (compact arrays pickle orders of magnitude
-    faster than element lists) and the plain element list for in-process
-    backends, which never pickle and would only pay the pack/unpack tax.
+    ``shard`` is a columnar :class:`~repro.data.store.ElementStore` when
+    the backend ships tasks across a process boundary (a store pickles as
+    three flat arrays, orders of magnitude faster than an element list),
+    a :class:`_ColumnShard` for the rare boundary-crossing shard whose
+    payloads are not columnar (ragged or categorical data), and the plain
+    element list for in-process backends, which never pickle and would
+    only pay a conversion tax.
     """
 
-    shard: Union[_PackedShard, List[Element]]
+    shard: Union[ElementStore, "_ColumnShard", List[Element]]
     metric: Metric
     k: int
     summarizer: ShardSummarizer
     start_index: int
-
-
-def _pack_shard(elements: Sequence[Element]) -> _PackedShard:
-    """Pack elements into arrays; falls back to the raw payload list if ragged."""
-    payloads = [element.vector for element in elements]
-    vectors: Any
-    try:
-        stacked = np.asarray(payloads)
-        vectors = stacked if stacked.ndim == 2 and stacked.dtype.kind in "fiub" else payloads
-    except ValueError:
-        vectors = payloads
-    labels = [element.label for element in elements]
-    return _PackedShard(
-        uids=np.fromiter((element.uid for element in elements), dtype=np.int64),
-        groups=np.fromiter((element.group for element in elements), dtype=np.int64),
-        vectors=vectors,
-        labels=labels if any(label is not None for label in labels) else None,
-    )
-
-
-def _unpack_shard(packed: _PackedShard) -> List[Element]:
-    """Rebuild the element list a worker operates on."""
-    labels = packed.labels
-    return [
-        Element(
-            uid=int(packed.uids[index]),
-            vector=packed.vectors[index],
-            group=int(packed.groups[index]),
-            label=None if labels is None else labels[index],
-        )
-        for index in range(len(packed.uids))
-    ]
 
 
 def _summarize_shard(job: _ShardJob) -> Tuple[List[Element], int]:
@@ -117,12 +106,14 @@ def _summarize_shard(job: _ShardJob) -> Tuple[List[Element], int]:
 
     Module-level (not a closure) so the process backend can pickle it; the
     distance count is measured inside the worker and shipped back with the
-    summary so the accounting works identically on every backend.
+    summary so the accounting works identically on every backend.  Store
+    shards are materialised as zero-copy element views inside the worker;
+    the summary elements detach from the store when pickled back, so the
+    return trip ships only the selected rows.
     """
     counting = CountingMetric(job.metric)
-    elements = (
-        _unpack_shard(job.shard) if isinstance(job.shard, _PackedShard) else job.shard
-    )
+    shard = job.shard
+    elements = shard.elements() if not isinstance(shard, list) else shard
     summary = job.summarizer.summarize(
         elements, counting, job.k, start_index=job.start_index
     )
@@ -195,6 +186,27 @@ class ParallelFDM:
         derived = derive_seed(self.seed, shard_index)
         return int(derived) % shard_size
 
+    @staticmethod
+    def _ship_shard(shard: List[Element]) -> Union[ElementStore, _ColumnShard]:
+        """The pickle-cheap shard representation for process workers.
+
+        Columnar payloads ship as an :class:`ElementStore` (shards cut from
+        a store-backed stream gather their rows with one vectorized select
+        per column); ragged or categorical payloads fall back to the
+        :class:`_ColumnShard` column form, which still ships uids/groups as
+        flat arrays and only the raw payloads as objects.
+        """
+        store = ElementStore.try_from_elements(shard)
+        if store is not None:
+            return store
+        labels = [element.label for element in shard]
+        return _ColumnShard(
+            uids=np.fromiter((e.uid for e in shard), dtype=np.int64, count=len(shard)),
+            groups=np.fromiter((e.group for e in shard), dtype=np.int64, count=len(shard)),
+            payloads=[element.vector for element in shard],
+            labels=labels if any(label is not None for label in labels) else None,
+        )
+
     def run(self, stream) -> RunResult:
         """Consume ``stream`` (any element iterable) and return a :class:`RunResult`.
 
@@ -213,7 +225,7 @@ class ParallelFDM:
             total = sum(len(shard) for shard in shards)
             jobs = [
                 _ShardJob(
-                    shard=_pack_shard(shard) if pack else shard,
+                    shard=self._ship_shard(shard) if pack else shard,
                     metric=self.metric,
                     k=self.summary_size,
                     summarizer=self.summarizer,

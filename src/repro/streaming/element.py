@@ -1,54 +1,13 @@
-"""The basic unit flowing through a stream: an identified, grouped point."""
+"""Compatibility re-export: :class:`Element` now lives in the data layer.
 
-from __future__ import annotations
+The element value object moved to :mod:`repro.data.element` when the
+columnar :class:`~repro.data.store.ElementStore` was introduced — the store
+is the canonical representation and elements are its thin views, so the
+definition belongs next to the store (and below the ``streaming`` package
+in the import layering).  Every historical import path keeps working
+through this module.
+"""
 
-from typing import Any, Optional
+from repro.data.element import Element
 
-import numpy as np
-
-
-class Element:
-    """One data point: an identifier, a feature payload, and a group label.
-
-    Parameters
-    ----------
-    uid:
-        A unique integer identifier.  Identity, hashing, and equality are
-        all based on ``uid`` so that elements can be stored in sets and
-        dictionaries without hashing the (mutable, possibly large) payload.
-    vector:
-        The feature payload handed to the metric.  Usually a 1-D numpy
-        array; stored as given (the constructor converts lists/tuples to
-        arrays for convenience).
-    group:
-        The sensitive-attribute group label, an integer in ``[0, m)``.
-    label:
-        Optional human-readable annotation (e.g. "female/young") used only
-        for reporting.
-    """
-
-    __slots__ = ("uid", "vector", "group", "label")
-
-    def __init__(self, uid: int, vector: Any, group: int = 0, label: Optional[str] = None) -> None:
-        self.uid = int(uid)
-        if isinstance(vector, (list, tuple)):
-            vector = np.asarray(vector, dtype=float)
-        self.vector = vector
-        self.group = int(group)
-        self.label = label
-
-    def __hash__(self) -> int:
-        return hash(self.uid)
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, Element):
-            return NotImplemented
-        return self.uid == other.uid
-
-    def __lt__(self, other: "Element") -> bool:
-        # Ordering by uid gives deterministic tie-breaking in sorts.
-        return self.uid < other.uid
-
-    def __repr__(self) -> str:
-        label = f", label={self.label!r}" if self.label is not None else ""
-        return f"Element(uid={self.uid}, group={self.group}{label})"
+__all__ = ["Element"]

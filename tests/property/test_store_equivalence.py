@@ -1,0 +1,171 @@
+"""Store-backed and object-backed execution must be indistinguishable.
+
+The columnar ``ElementStore`` is a data-layout change, not an algorithm
+change: for every streaming algorithm, feeding the same logical stream
+through a store-backed :class:`DataStream` (row-range ingestion, memoised
+union screens) and through a plain element list (the retained object
+compatibility path) must produce byte-identical solutions *and* charge the
+same number of distance computations, across seeds, metrics, and batch
+sizes.  These tests pin that contract — it is what makes the store safe to
+use as the canonical in-memory representation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sfdm1 import SFDM1
+from repro.core.sfdm2 import SFDM2
+from repro.core.streaming_dm import StreamingDiversityMaximization
+from repro.datasets.synthetic import synthetic_blobs
+from repro.fairness.constraints import equal_representation
+from repro.metrics.vector import EuclideanMetric, ManhattanMetric
+from repro.parallel import ParallelFDM
+from repro.streaming.stream import DataStream
+
+METRICS = {"euclidean": EuclideanMetric(), "manhattan": ManhattanMetric()}
+
+N = 400
+K = 8
+M = 2
+
+
+def _dataset(seed, m=M):
+    return synthetic_blobs(n=N, m=m, seed=seed)
+
+
+def _streams(dataset, seed):
+    """The same logical stream, store-backed and object-backed."""
+    store_stream = dataset.stream(seed=seed)
+    assert store_stream.store is not None, "synthetic data must be columnar"
+    object_stream = DataStream(dataset.elements, shuffle_seed=seed, name=dataset.name)
+    return store_stream, object_stream
+
+
+def _assert_equivalent(store_result, object_result):
+    assert sorted(store_result.solution.uids) == sorted(object_result.solution.uids)
+    assert store_result.solution.diversity == pytest.approx(
+        object_result.solution.diversity, abs=0.0
+    )
+    assert (
+        store_result.stats.stream_distance_computations
+        == object_result.stats.stream_distance_computations
+    )
+    assert (
+        store_result.stats.postprocess_distance_computations
+        == object_result.stats.postprocess_distance_computations
+    )
+    assert (
+        store_result.stats.elements_processed == object_result.stats.elements_processed
+    )
+
+
+@pytest.mark.parametrize("metric_name", sorted(METRICS))
+@pytest.mark.parametrize("batch_size", [None, 7, 64])
+@pytest.mark.parametrize("seed", [0, 3])
+class TestStreamingEquivalence:
+    def test_streaming_dm(self, metric_name, batch_size, seed):
+        dataset = _dataset(seed)
+        store_stream, object_stream = _streams(dataset, seed + 1)
+        metric = METRICS[metric_name]
+
+        def _run(stream):
+            return StreamingDiversityMaximization(
+                metric=metric, k=K, epsilon=0.2, batch_size=batch_size
+            ).run(stream)
+
+        _assert_equivalent(_run(store_stream), _run(object_stream))
+
+    def test_sfdm1(self, metric_name, batch_size, seed):
+        dataset = _dataset(seed)
+        constraint = equal_representation(K, list(dataset.group_sizes().keys()))
+        store_stream, object_stream = _streams(dataset, seed + 1)
+        metric = METRICS[metric_name]
+
+        def _run(stream):
+            return SFDM1(
+                metric=metric,
+                constraint=constraint,
+                epsilon=0.2,
+                batch_size=batch_size,
+            ).run(stream)
+
+        _assert_equivalent(_run(store_stream), _run(object_stream))
+
+    def test_sfdm2(self, metric_name, batch_size, seed):
+        dataset = _dataset(seed, m=3)
+        constraint = equal_representation(9, list(dataset.group_sizes().keys()))
+        store_stream, object_stream = _streams(dataset, seed + 1)
+        metric = METRICS[metric_name]
+
+        def _run(stream):
+            return SFDM2(
+                metric=metric,
+                constraint=constraint,
+                epsilon=0.2,
+                batch_size=batch_size,
+            ).run(stream)
+
+        _assert_equivalent(_run(store_stream), _run(object_stream))
+
+
+@pytest.mark.parametrize("seed", [1, 4])
+@pytest.mark.parametrize("backend", ["serial", "thread"])
+def test_parallel_fdm_equivalence(seed, backend):
+    """ParallelFDM: store shards and element shards give the same solution."""
+    dataset = _dataset(seed, m=3)
+    constraint = equal_representation(9, list(dataset.group_sizes().keys()))
+    store_stream, object_stream = _streams(dataset, seed + 1)
+
+    def _run(stream):
+        return ParallelFDM(
+            metric=dataset.metric,
+            constraint=constraint,
+            shards=3,
+            backend=backend,
+            seed=17,
+        ).run(stream)
+
+    store_result = _run(store_stream)
+    object_result = _run(object_stream)
+    assert sorted(store_result.solution.uids) == sorted(object_result.solution.uids)
+    assert (
+        store_result.stats.stream_distance_computations
+        == object_result.stats.stream_distance_computations
+    )
+    assert (
+        store_result.stats.postprocess_distance_computations
+        == object_result.stats.postprocess_distance_computations
+    )
+
+
+def test_explicit_bounds_skip_warmup_identically():
+    """With known distance bounds both paths skip the warmup buffering."""
+    dataset = _dataset(2)
+    constraint = equal_representation(K, list(dataset.group_sizes().keys()))
+    store_stream, object_stream = _streams(dataset, 5)
+
+    def _run(stream):
+        return SFDM2(
+            metric=dataset.metric,
+            constraint=constraint,
+            epsilon=0.2,
+            distance_bounds=(0.05, 60.0),
+            batch_size=32,
+        ).run(stream)
+
+    _assert_equivalent(_run(store_stream), _run(object_stream))
+
+
+def test_canonical_order_equivalence():
+    """No shuffle seed: the store path ingests zero-copy row ranges."""
+    dataset = _dataset(6)
+    constraint = equal_representation(K, list(dataset.group_sizes().keys()))
+    store_stream = dataset.stream(seed=None)
+    object_stream = DataStream(dataset.elements, shuffle_seed=None)
+
+    def _run(stream):
+        return SFDM2(
+            metric=dataset.metric, constraint=constraint, epsilon=0.2, batch_size=16
+        ).run(stream)
+
+    _assert_equivalent(_run(store_stream), _run(object_stream))

@@ -155,3 +155,30 @@ class TestCallableMetric:
     def test_rejects_non_callable(self):
         with pytest.raises(TypeError):
             CallableMetric("not callable")
+
+
+class TestFusedScreenKernels:
+    """The fused screen kernels must be bitwise equal to the full-matrix route."""
+
+    METRICS = [
+        EuclideanMetric(),
+        ManhattanMetric(),
+        ChebyshevMetric(),
+        AngularMetric(),
+    ]
+
+    @pytest.mark.parametrize("metric", METRICS, ids=lambda m: m.name)
+    def test_pairwise_min_bitwise_equal(self, metric):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(40, 3))
+        Y = rng.normal(size=(9, 3))
+        assert np.array_equal(metric.pairwise_min(X, Y), metric.pairwise(X, Y).min(axis=1))
+
+    def test_pairwise_min_high_dimensional(self):
+        metric = EuclideanMetric()
+        rng = np.random.default_rng(13)
+        X = rng.normal(size=(8, 4))
+        Y = rng.normal(size=(5, 4))
+        assert np.array_equal(
+            metric.pairwise_min(X, Y), metric.pairwise(X, Y).min(axis=1)
+        )

@@ -7,8 +7,9 @@ from repro.datasets.synthetic import synthetic_blobs
 from repro.fairness.constraints import equal_representation
 from repro.metrics.base import CallableMetric
 from repro.metrics.vector import EuclideanMetric
+from repro.data.store import ElementStore
 from repro.parallel import ParallelFDM, merge_tree
-from repro.parallel.driver import _pack_shard, _summarize_shard, _ShardJob, _unpack_shard
+from repro.parallel.driver import _summarize_shard, _ShardJob
 from repro.parallel.merge import merge_pair
 from repro.parallel.summarize import (
     GMMShardSummarizer,
@@ -28,11 +29,13 @@ def _elements(count, period=2):
     ]
 
 
-class TestPacking:
-    def test_roundtrip_preserves_elements(self):
+class TestShardShipping:
+    def test_store_shard_preserves_elements(self):
         elements = _elements(7, period=3)
         elements[2].label = "special"
-        rebuilt = _unpack_shard(_pack_shard(elements))
+        shipped = ParallelFDM._ship_shard(elements)
+        assert isinstance(shipped, ElementStore)
+        rebuilt = shipped.elements()
         assert [e.uid for e in rebuilt] == [e.uid for e in elements]
         assert [e.group for e in rebuilt] == [e.group for e in elements]
         assert rebuilt[2].label == "special"
@@ -40,25 +43,40 @@ class TestPacking:
             np.allclose(a.vector, b.vector) for a, b in zip(rebuilt, elements)
         )
 
-    def test_numeric_payloads_pack_to_one_matrix(self):
-        packed = _pack_shard(_elements(5))
-        assert isinstance(packed.vectors, np.ndarray)
-        assert packed.vectors.shape == (5, 2)
-        assert packed.labels is None
+    def test_numeric_payloads_ship_as_one_matrix(self):
+        shipped = ParallelFDM._ship_shard(_elements(5))
+        assert isinstance(shipped, ElementStore)
+        assert shipped.features.shape == (5, 2)
+        assert shipped.labels is None
 
-    def test_ragged_payloads_fall_back_to_list(self):
+    def test_ragged_payloads_fall_back_to_column_shard(self):
         elements = [
             Element(uid=0, vector=np.array([1.0]), group=0),
             Element(uid=1, vector=np.array([1.0, 2.0]), group=1),
         ]
-        packed = _pack_shard(elements)
-        assert isinstance(packed.vectors, list)
-        rebuilt = _unpack_shard(packed)
+        shipped = ParallelFDM._ship_shard(elements)
+        assert not isinstance(shipped, ElementStore)
+        assert list(shipped.uids) == [0, 1]
+        assert list(shipped.groups) == [0, 1]
+        rebuilt = shipped.elements()
+        assert [e.uid for e in rebuilt] == [0, 1]
         assert np.allclose(rebuilt[1].vector, [1.0, 2.0])
+
+    def test_summary_elements_detach_from_store_when_pickled(self):
+        import pickle
+
+        store = ElementStore.from_elements(_elements(20))
+        views = store.elements()
+        restored = pickle.loads(pickle.dumps(views[:3]))
+        assert [e.uid for e in restored] == [0, 1, 2]
+        assert all(e.store is None and e.row == -1 for e in restored)
+        assert all(
+            np.allclose(a.vector, b.vector) for a, b in zip(restored, views[:3])
+        )
 
     def test_summarize_shard_reports_worker_distance_calls(self):
         job = _ShardJob(
-            shard=_pack_shard(_elements(20)),
+            shard=ElementStore.from_elements(_elements(20)),
             metric=METRIC,
             k=4,
             summarizer=GMMShardSummarizer(),

@@ -1,0 +1,159 @@
+"""Perf-regression gate: fresh smoke bench vs. the committed baseline.
+
+Runs ``benchmarks/bench_hot_paths.py`` at smoke scale into a scratch JSON
+and compares the numbers against the ``hot_paths_smoke`` section committed
+in ``BENCH_hot_paths.json`` at the repo root:
+
+* **hardware-independent checks always apply** — the charged distance
+  count must match the baseline exactly (the accounting is deterministic
+  for a fixed seed and scale), and the store-over-object ingest speedup
+  must not collapse below the baseline ratio divided by the tolerance;
+* **absolute wall-clock checks are hardware-gated** (like the parallel
+  bench's ≥ 4-core assertion): they only apply when the current machine
+  reports the same usable CPU count the baseline was recorded on, and
+  allow a ``--tolerance`` factor (default 2.5x) for scheduler noise and
+  slower-but-same-shaped hardware.
+
+Exit status 0 means no regression (or hardware mismatch, reported); 1
+means a check failed.  Refresh the baseline by re-running
+``make bench-hot`` (acceptance scale) and the smoke bench
+(``REPRO_BENCH_HOT_N=8000 python -m pytest benchmarks/bench_hot_paths.py``)
+and committing the updated JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_hot_paths.json"
+SMOKE_SECTION = "hot_paths_smoke"
+
+#: Wall-clock keys compared against the baseline (seconds, lower is better).
+TIMED_KEYS = (
+    "sfdm2_ingest_store_s",
+    "greedy_fair_fill_store_s",
+    "gmm_store_s",
+)
+
+
+def _run_smoke_bench(smoke_n: int, scratch_json: Path) -> dict:
+    """Run the hot-paths bench at smoke scale, writing to ``scratch_json``."""
+    env = dict(os.environ)
+    env["REPRO_BENCH_HOT_N"] = str(smoke_n)
+    env["REPRO_BENCH_JSON"] = str(scratch_json)
+    # The bench's own smoke-scale speedup assertion is redundant under the
+    # gate (which applies a tolerance-based ratio check below) and could
+    # fail on pure scheduler noise before any gating logic runs.
+    env["REPRO_BENCH_HOT_NO_ASSERT"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks/bench_hot_paths.py",
+        "-q",
+        "--no-header",
+        "-p",
+        "no:cacheprovider",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if completed.returncode != 0:
+        raise SystemExit(f"perf gate: smoke bench failed (exit {completed.returncode})")
+    data = json.loads(scratch_json.read_text())
+    section = data.get(SMOKE_SECTION)
+    if section is None:
+        raise SystemExit(
+            f"perf gate: smoke bench did not record the {SMOKE_SECTION!r} section"
+        )
+    return section
+
+
+def main(argv=None) -> int:
+    """Compare a fresh smoke run with the committed baseline; 0 = green."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.5,
+        help="allowed slowdown factor for wall-clock checks (default 2.5)",
+    )
+    args = parser.parse_args(argv)
+
+    if not BASELINE_PATH.exists():
+        raise SystemExit(f"perf gate: missing baseline {BASELINE_PATH}")
+    baseline_data = json.loads(BASELINE_PATH.read_text())
+    baseline = baseline_data.get(SMOKE_SECTION)
+    if baseline is None:
+        raise SystemExit(
+            f"perf gate: baseline {BASELINE_PATH.name} has no {SMOKE_SECTION!r} section"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="perf-gate-") as scratch_dir:
+        fresh = _run_smoke_bench(
+            int(baseline.get("n", 8000)), Path(scratch_dir) / "bench.json"
+        )
+
+    failures = []
+
+    # Accounting is deterministic for a fixed seed/scale on any hardware.
+    expected_calls = baseline.get("stream_distance_computations")
+    actual_calls = fresh.get("stream_distance_computations")
+    if expected_calls is not None and actual_calls != expected_calls:
+        failures.append(
+            f"stream distance computations changed: {actual_calls} != baseline {expected_calls}"
+        )
+
+    # The relative store-vs-object advantage must not collapse, regardless
+    # of absolute machine speed.
+    base_ratio = float(baseline.get("sfdm2_ingest_speedup", 1.0))
+    fresh_ratio = float(fresh.get("sfdm2_ingest_speedup", 0.0))
+    floor = base_ratio / args.tolerance
+    if fresh_ratio < floor:
+        failures.append(
+            f"ingest speedup collapsed: {fresh_ratio:.2f}x < floor {floor:.2f}x "
+            f"(baseline {base_ratio:.2f}x / tolerance {args.tolerance:g})"
+        )
+
+    # Absolute wall-clock: only comparable on matching hardware.
+    same_hardware = fresh.get("cpus") == baseline.get("cpus")
+    if same_hardware:
+        for key in TIMED_KEYS:
+            base_value = baseline.get(key)
+            fresh_value = fresh.get(key)
+            if base_value is None or fresh_value is None:
+                continue
+            if float(fresh_value) > float(base_value) * args.tolerance:
+                failures.append(
+                    f"{key}: {float(fresh_value):.4f}s > "
+                    f"{float(base_value):.4f}s * {args.tolerance:g}"
+                )
+    else:
+        print(
+            f"perf gate: hardware mismatch (cpus {fresh.get('cpus')} vs baseline "
+            f"{baseline.get('cpus')}); skipping absolute wall-clock checks"
+        )
+
+    if failures:
+        print("perf gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "perf gate: OK "
+        f"(ingest {fresh_ratio:.2f}x vs baseline {base_ratio:.2f}x, "
+        f"store ingest {float(fresh.get('sfdm2_ingest_store_s', 0.0)):.3f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
