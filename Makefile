@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-batch bench-parallel bench-hot perf-gate docs-check ci
+.PHONY: test bench-smoke bench-batch bench-parallel bench-hot perf-gate docs-check api-check api-surface ci
 
 ## Run the full test suite (tier-1 gate).
 test:
@@ -54,6 +54,15 @@ docs-check:
 		&& $(PYTHON) -m pydocstyle --convention=numpy src/repro/metrics src/repro/streaming \
 		|| $(PYTHON) tools/check_docstrings.py src/repro
 
-## One-command PR gate: tests, docstring completeness, the smoke-scale
-## benchmark pass, and the perf-regression gate.
-ci: test docs-check bench-smoke perf-gate
+## Public-API drift gate: the exported names and signatures of `repro` and
+## `repro.api` must match the tracked API_SURFACE.json snapshot.
+api-check:
+	$(PYTHON) tools/check_api_surface.py
+
+## Refresh the tracked API_SURFACE.json after an intentional API change.
+api-surface:
+	$(PYTHON) tools/check_api_surface.py --write
+
+## One-command PR gate: tests, docstring completeness, API-surface drift,
+## the smoke-scale benchmark pass, and the perf-regression gate.
+ci: test docs-check api-check bench-smoke perf-gate

@@ -1,8 +1,8 @@
-"""Quickstart: fair diversity maximization on a synthetic stream.
+"""Quickstart: fair diversity maximization through the unified API.
 
-Generates a two-group Gaussian-blob dataset, streams it through SFDM1 and
-SFDM2, compares them against the offline baselines, and prints a small
-report.  Run with::
+Generates a two-group Gaussian-blob dataset and runs the paper's streaming
+algorithms and the offline baselines through the single ``repro.solve``
+entry point, then prints a small comparison report.  Run with::
 
     python examples/quickstart.py
 """
@@ -14,43 +14,31 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
-from repro import (  # noqa: E402
-    SFDM1,
-    SFDM2,
-    equal_representation,
-    fair_flow,
-    fair_swap,
-    gmm,
-    synthetic_blobs,
-)
+import repro  # noqa: E402
 from repro.evaluation.reporting import format_table  # noqa: E402
 
 
 def main() -> None:
     # 1. Build a dataset: 5 000 points in ten Gaussian blobs, two groups.
-    dataset = synthetic_blobs(n=5_000, m=2, seed=7)
+    dataset = repro.synthetic_blobs(n=5_000, m=2, seed=7)
     print(f"dataset: {dataset.name} with groups {dataset.group_sizes()}")
 
-    # 2. Fairness constraint: equal representation, k = 20.
-    constraint = equal_representation(k=20, groups=dataset.group_sizes().keys())
-    print(f"constraint: {constraint.quotas}")
-
-    # 3. Run the streaming algorithms (one pass over a random permutation).
-    stream = dataset.stream(seed=1)
+    # 2. Every algorithm in the registry is one `solve` call away; quotas
+    #    are built from k with the default equal-representation rule.
+    print(f"registered algorithms: {', '.join(repro.algorithm_names())}")
+    names = ["SFDM1", "SFDM2", "GMM", "FairSwap", "FairFlow"]
     results = {
-        "SFDM1": SFDM1(dataset.metric, constraint, epsilon=0.1).run(stream),
-        "SFDM2": SFDM2(dataset.metric, constraint, epsilon=0.1).run(stream),
-        # 4. Offline baselines for comparison (they keep all n points in memory).
-        "GMM (unconstrained)": gmm(dataset.elements, dataset.metric, constraint.total_size),
-        "FairSwap": fair_swap(dataset.elements, dataset.metric, constraint),
-        "FairFlow": fair_flow(dataset.elements, dataset.metric, constraint),
+        name: repro.solve(dataset, k=20, algorithm=name, epsilon=0.1, seed=1)
+        for name in names
     }
+    # `algorithm="auto"` picks for you: SFDM1 at m=2, SFDM2 otherwise.
+    results["auto"] = repro.solve(dataset, k=20, epsilon=0.1, seed=1)
 
     rows = []
     for name, result in results.items():
         rows.append(
             {
-                "algorithm": name,
+                "algorithm": f"{name} -> {result.algorithm}" if name == "auto" else name,
                 "diversity": result.diversity,
                 "fair": getattr(result.solution, "is_fair", "-"),
                 "time_s": result.stats.total_seconds,

@@ -1,0 +1,66 @@
+"""A long-lived ingestion service built on the session API.
+
+Simulates the serving pattern the session API exists for: feature rows
+arrive in irregular mini-batches (as they would from a request queue), the
+service answers "current best fair selection" queries mid-stream, restarts
+itself from a checkpoint halfway through, and ends with exactly the answer
+an uninterrupted consumer would have produced.  Run with::
+
+    python examples/streaming_service.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import repro  # noqa: E402
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    k, m, total = 10, 2, 4_000
+
+    # A session needs no data up front — just the problem shape.
+    session = repro.open_session(k=k, groups=range(m), algorithm="SFDM2")
+    print(f"opened: {session!r}")
+
+    # Traffic: irregular mini-batches of raw feature rows.
+    offered = 0
+    checkpoint_path = Path(tempfile.gettempdir()) / "repro-service.ckpt"
+    while offered < total:
+        batch = int(rng.integers(50, 400))
+        centers = rng.integers(0, 8, size=batch)
+        rows = rng.normal(loc=centers[:, None] * 2.0, scale=0.6, size=(batch, 3))
+        session.offer_rows(rows, groups=rng.integers(0, m, size=batch))
+        offered += batch
+
+        if offered >= total // 2 and not checkpoint_path.exists():
+            # Mid-stream query: side-effect free, full RunResult.
+            answer = session.solution()
+            print(
+                f"after {session.elements_offered} rows: "
+                f"diversity={answer.diversity:.3f}, fair={answer.solution.is_fair}"
+            )
+            # Simulated redeploy: snapshot, drop the process state, resume.
+            session.checkpoint(checkpoint_path)
+            session = repro.resume(checkpoint_path)
+            print(f"resumed from {checkpoint_path.name}: {session!r}")
+
+    final = session.solution()
+    print(
+        f"final: {final.algorithm} over {final.stats.elements_processed} rows, "
+        f"diversity={final.diversity:.3f}, fair={final.solution.is_fair}, "
+        f"stored={final.stats.peak_stored_elements} elements, "
+        f"{final.stats.total_distance_computations} distance computations"
+    )
+    checkpoint_path.unlink(missing_ok=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,10 @@ arXiv:2208.00194).
 
 The package exposes:
 
+* the unified API layer: :func:`solve` (one call for any data shape and
+  any registered algorithm), the pluggable algorithm registry
+  (:func:`register_algorithm`, :func:`algorithms`), and long-lived
+  streaming sessions (:func:`open_session`, :func:`resume`);
 * the streaming algorithms :class:`SFDM1`, :class:`SFDM2`, and the
   unconstrained building block :class:`StreamingDiversityMaximization`;
 * the offline baselines ``gmm``, ``fair_swap``, ``fair_flow``, ``fair_gmm``;
@@ -17,12 +21,9 @@ The package exposes:
 
 Quickstart
 ----------
->>> from repro import SFDM2, equal_representation, synthetic_blobs
->>> dataset = synthetic_blobs(n=2_000, m=2, seed=7)
->>> constraint = equal_representation(k=10, groups=dataset.group_sizes().keys())
->>> result = SFDM2(metric=dataset.metric, constraint=constraint, epsilon=0.1).run(
-...     dataset.stream(seed=1)
-... )
+>>> import repro
+>>> dataset = repro.synthetic_blobs(n=2_000, m=2, seed=7)
+>>> result = repro.solve(dataset, k=10, seed=1)
 >>> result.solution.is_fair
 True
 """
@@ -84,6 +85,20 @@ from repro.parallel import (
 )
 from repro.data import ElementStore
 from repro.streaming import DataStream, Element, StreamStats, iter_batches, stream_from_arrays
+from repro.api import (
+    AlgorithmInfo,
+    Capabilities,
+    SolveSpec,
+    StreamingSession,
+    WindowSession,
+    algorithm_names,
+    algorithms,
+    get_algorithm,
+    open_session,
+    register_algorithm,
+    resume,
+    solve,
+)
 from repro.utils import (
     EmptyStreamError,
     InfeasibleConstraintError,
@@ -95,6 +110,19 @@ from repro.utils import (
 __version__ = "1.0.0"
 
 __all__ = [
+    # unified API layer
+    "solve",
+    "SolveSpec",
+    "open_session",
+    "resume",
+    "StreamingSession",
+    "WindowSession",
+    "algorithms",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+    "AlgorithmInfo",
+    "Capabilities",
     # core algorithms
     "StreamingDiversityMaximization",
     "SFDM1",

@@ -1,0 +1,60 @@
+"""Unified API layer: algorithm registry, ``solve`` façade, and sessions.
+
+Importing this package registers every built-in algorithm (see
+:mod:`repro.api.runners`) and exposes the three public surfaces:
+
+* the **registry** — :func:`register_algorithm`, :func:`get_algorithm`,
+  :func:`algorithm_names`, :func:`algorithms` — one namespace in which
+  every streaming, offline, parallel, coreset, and window algorithm
+  declares its capabilities, and through which all dispatch (harness, CLI,
+  ``solve``) flows;
+* the **façade** — :func:`solve` with its typed :class:`SolveSpec` — one
+  call for any data shape and any registered algorithm, returning the
+  same :class:`~repro.core.result.RunResult` a direct invocation would;
+* the **sessions** — :func:`open_session`, :func:`resume`,
+  :class:`StreamingSession`, :class:`WindowSession` — long-lived
+  incremental ingestion with mid-stream queries and checkpoint/resume.
+"""
+
+from repro.api.registry import (
+    AlgorithmInfo,
+    Capabilities,
+    RegisteredAlgorithm,
+    RunContext,
+    algorithm_names,
+    algorithms,
+    get_algorithm,
+    has_algorithm,
+    query,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.api import runners as _runners  # noqa: F401  (populates the registry)
+from repro.api.session import (
+    SessionBase,
+    StreamingSession,
+    WindowSession,
+    resume,
+)
+from repro.api.solve import SolveSpec, open_session, solve
+
+__all__ = [
+    "AlgorithmInfo",
+    "Capabilities",
+    "RegisteredAlgorithm",
+    "RunContext",
+    "SessionBase",
+    "SolveSpec",
+    "StreamingSession",
+    "WindowSession",
+    "algorithm_names",
+    "algorithms",
+    "get_algorithm",
+    "has_algorithm",
+    "open_session",
+    "query",
+    "register_algorithm",
+    "resume",
+    "solve",
+    "unregister_algorithm",
+]

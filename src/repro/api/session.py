@@ -1,0 +1,465 @@
+"""Long-lived streaming sessions: ingest indefinitely, query anytime.
+
+The one-shot :meth:`~repro.core.base.StreamingAlgorithm.run` consumes a
+finite stream and returns once.  A production server instead needs to keep
+ingesting and answer *"what is the best fair solution right now?"* at any
+point — which is exactly what a :class:`StreamingSession` provides, for
+every streaming-ladder algorithm (SFDM1, SFDM2, StreamingDM), by driving
+the same candidate state the one-shot run builds:
+
+* :meth:`~StreamingSession.offer` / :meth:`~StreamingSession.offer_batch` /
+  :meth:`~StreamingSession.offer_rows` feed elements (or raw feature rows)
+  incrementally, through the identical warmup / scalar / batched ingestion
+  rules as ``run()``;
+* :meth:`~StreamingSession.solution` extracts the current best solution as a
+  full :class:`~repro.core.result.RunResult` **without mutating the
+  session** — ingestion continues afterwards exactly as if the query never
+  happened, so the final answer (and its distance accounting) is
+  byte-identical to an uninterrupted run over the same element order;
+* :meth:`~SessionBase.checkpoint` snapshots the live state to disk and
+  :func:`resume` restores it — ``checkpoint -> resume -> continue`` yields
+  byte-identical solutions and equal distance counts versus never stopping,
+  which generalises :class:`~repro.streaming.window.CheckpointedWindowFDM`'s
+  block-snapshot idea (itself wrapped by :class:`WindowSession`) to the
+  whole streaming family.
+
+Sessions are created through :func:`repro.open_session`, which resolves the
+algorithm from the registry and rejects entries without the ``sessions``
+capability.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.base import StreamingAlgorithm
+from repro.core.result import RunResult
+from repro.data.element import Element
+from repro.metrics.space import exact_distance_bounds
+from repro.streaming.stats import StreamStats
+from repro.streaming.window import CheckpointedWindowFDM
+from repro.utils.errors import (
+    EmptyStreamError,
+    InvalidParameterError,
+    NoFeasibleSolutionError,
+)
+from repro.utils.timer import Timer
+
+#: Magic header of session checkpoint payloads.
+CHECKPOINT_FORMAT = "repro-session"
+#: Bumped whenever the pickled session layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+class SessionBase:
+    """Shared session plumbing: element coercion, uids, and checkpointing."""
+
+    def __init__(self) -> None:
+        self._offered = 0
+        self._next_uid = 0
+        self._stream_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Ingestion surface
+    # ------------------------------------------------------------------
+    @property
+    def elements_offered(self) -> int:
+        """Total number of elements this session has ingested."""
+        return self._offered
+
+    def offer(self, element: Element) -> None:
+        """Ingest one element."""
+        self._offer_many([element])
+
+    def offer_batch(self, elements: Iterable[Element]) -> None:
+        """Ingest a chunk of elements, in order."""
+        chunk = list(elements)
+        if chunk:
+            self._offer_many(chunk)
+
+    def offer_rows(
+        self,
+        features: Any,
+        groups: Optional[Any] = None,
+        uids: Optional[Any] = None,
+    ) -> None:
+        """Ingest raw feature rows (the server-friendly array entry point).
+
+        Parameters
+        ----------
+        features:
+            Array of shape ``(n, d)`` — or a single ``(d,)`` row.
+        groups:
+            ``n`` integer group labels (default: group ``0`` for every row).
+        uids:
+            ``n`` integer identifiers; auto-assigned past the largest uid
+            seen so far when omitted.
+        """
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.ndim != 2:
+            raise InvalidParameterError(
+                f"features must be a (n, d) matrix or a single row, got ndim={matrix.ndim}"
+            )
+        n = matrix.shape[0]
+        if groups is None:
+            group_list = [0] * n
+        else:
+            group_list = [int(g) for g in np.asarray(groups).reshape(-1)]
+            if len(group_list) != n:
+                raise InvalidParameterError(
+                    f"got {n} feature rows but {len(group_list)} group labels"
+                )
+        if uids is None:
+            uid_list = list(range(self._next_uid, self._next_uid + n))
+        else:
+            uid_list = [int(u) for u in np.asarray(uids).reshape(-1)]
+            if len(uid_list) != n:
+                raise InvalidParameterError(
+                    f"got {n} feature rows but {len(uid_list)} uids"
+                )
+        self.offer_batch(
+            Element(uid=uid_list[i], vector=matrix[i], group=group_list[i])
+            for i in range(n)
+        )
+
+    def _offer_many(self, chunk: List[Element]) -> None:
+        """Subclasses ingest an in-order, non-empty chunk here."""
+        raise NotImplementedError
+
+    def _track_uids(self, chunk: Sequence[Element]) -> None:
+        """Advance the auto-uid watermark past every ingested element."""
+        self._offered += len(chunk)
+        highest = max(element.uid for element in chunk)
+        if highest >= self._next_uid:
+            self._next_uid = highest + 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: Union[str, os.PathLike]) -> Path:
+        """Snapshot the live session state to ``path`` (atomic replace).
+
+        The snapshot contains everything needed to continue byte-identically:
+        candidates, pending buffers, and the distance-count watermarks.
+        Elements that are views of a columnar store detach on pickling, so
+        a checkpoint never drags a whole dataset along.  Restore with
+        :func:`repro.resume`.
+        """
+        path = Path(path)
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "algorithm": self.algorithm_name,
+            "session": self,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    @property
+    def algorithm_name(self) -> str:
+        """Name of the wrapped algorithm (used in reports and checkpoints)."""
+        raise NotImplementedError
+
+
+def resume(path: Union[str, os.PathLike]) -> SessionBase:
+    """Restore a session previously saved with :meth:`SessionBase.checkpoint`.
+
+    The restored session continues exactly where the checkpoint left off:
+    feeding it the remaining stream suffix yields byte-identical solutions
+    and equal distance counts to a session that was never interrupted.
+    """
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise InvalidParameterError(f"{path} is not a repro session checkpoint")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise InvalidParameterError(
+            f"checkpoint version {payload.get('version')!r} is not supported "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    session = payload.get("session")
+    if not isinstance(session, SessionBase):
+        raise InvalidParameterError(f"{path} does not contain a session object")
+    return session
+
+
+class StreamingSession(SessionBase):
+    """Incremental driver for one streaming-ladder algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        A configured :class:`~repro.core.base.StreamingAlgorithm`
+        (SFDM1, SFDM2, or StreamingDiversityMaximization).  The session owns
+        the run state; the algorithm object itself is never mutated.
+
+    The session reproduces the one-shot ``run()`` behaviour stage by stage:
+
+    * while fewer than ``warmup_size`` elements have arrived (and no
+      explicit ``distance_bounds`` were given), elements are buffered and
+      the guess ladder does not exist yet;
+    * once the warmup fills, bounds are estimated exactly as ``run()``
+      estimates them, the ladder and its candidates are built, and the
+      buffered prefix is ingested;
+    * afterwards, elements flow straight into the candidates — one at a
+      time, or through the vectorized batch path when the algorithm was
+      configured with a ``batch_size`` (chunk boundaries are aligned to the
+      stream start, matching the one-shot chunking).
+
+    :meth:`solution` works on a deep-copied snapshot, so queries are pure:
+    the live ingestion schedule — and therefore the distance accounting —
+    is unaffected by how often (or whether) the session is queried.
+    """
+
+    def __init__(self, algorithm: StreamingAlgorithm) -> None:
+        super().__init__()
+        if not isinstance(algorithm, StreamingAlgorithm):
+            raise InvalidParameterError(
+                f"StreamingSession drives StreamingAlgorithm instances, "
+                f"got {type(algorithm).__name__}"
+            )
+        self._algorithm = algorithm
+        self._counting = algorithm._counting_metric()
+        self._stats = StreamStats()
+        self._ladder = None
+        self._blind = None
+        self._specific = None
+        self._pending: List[Element] = []
+        if algorithm.distance_bounds is not None:
+            self._activate(algorithm.distance_bounds)
+
+    # ------------------------------------------------------------------
+    @property
+    def algorithm_name(self) -> str:
+        """Name of the wrapped algorithm."""
+        return self._algorithm.name
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the guess ladder exists yet (warmup complete)."""
+        return self._ladder is not None
+
+    @property
+    def _batched(self) -> bool:
+        """Whether ingestion runs through the vectorized batch path."""
+        batch_size = self._algorithm.batch_size
+        return batch_size is not None and batch_size > 1 and self._counting.supports_batch
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _offer_many(self, chunk: List[Element]) -> None:
+        started = time.perf_counter()
+        self._track_uids(chunk)
+        if self._ladder is None:
+            self._pending.extend(chunk)
+            if len(self._pending) >= self._algorithm.warmup_size:
+                self._activate_from_pending()
+        elif self._batched:
+            self._pending.extend(chunk)
+            self._drain(final=False)
+        else:
+            self._algorithm._ingest_elements(
+                chunk, self._blind, self._specific, self._stats
+            )
+        self._stream_seconds += time.perf_counter() - started
+
+    def _activate(self, bounds) -> None:
+        """Build the guess ladder and its candidates for ``bounds``."""
+        self._ladder = self._algorithm._build_ladder(bounds)
+        self._blind, self._specific = self._algorithm._make_candidates(
+            self._ladder, self._counting
+        )
+        if self._batched:
+            self._stats.extra["batch_size"] = float(self._algorithm.batch_size)
+
+    def _activate_from_pending(self) -> None:
+        """Estimate bounds from the buffered warmup and start ingesting.
+
+        Mirrors :meth:`StreamingAlgorithm._resolve_bounds`: the estimate is
+        computed on the first ``warmup_size`` buffered elements (all of
+        them, when the session is finalised early) and widened by the same
+        factor; a single-element stream gets the trivial bounds.
+        """
+        if not self._pending:
+            raise EmptyStreamError(
+                f"{self._algorithm.name} session received no elements"
+            )
+        if len(self._pending) == 1:
+            self._activate((1.0, 1.0))
+        else:
+            warmup = self._pending[: self._algorithm.warmup_size]
+            d_min, d_max = exact_distance_bounds(warmup, self._counting)
+            self._activate((d_min / 4.0, d_max * 4.0))
+        self._drain(final=False)
+
+    def _drain(self, final: bool) -> None:
+        """Move pending elements into the candidates.
+
+        In scalar mode everything drains immediately.  In batch mode only
+        whole ``batch_size`` chunks drain — the remainder stays pending so
+        chunk boundaries always align with the stream start, exactly like
+        the one-shot run's chunking — unless ``final`` forces the trailing
+        partial chunk out (done only on query snapshots, never on the live
+        session).
+        """
+        if not self._batched:
+            if self._pending:
+                chunk, self._pending = self._pending, []
+                self._algorithm._ingest_elements(
+                    chunk, self._blind, self._specific, self._stats
+                )
+            return
+        size = self._algorithm.batch_size
+        while len(self._pending) >= size:
+            chunk = self._pending[:size]
+            del self._pending[:size]
+            self._algorithm._ingest_batches(
+                chunk, self._blind, self._specific, self._stats
+            )
+        if final and self._pending:
+            chunk, self._pending = self._pending, []
+            self._algorithm._ingest_batches(
+                chunk, self._blind, self._specific, self._stats
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def solution(self) -> RunResult:
+        """The best solution over everything offered so far, as a RunResult.
+
+        The extraction runs on a deep-copied snapshot of the session, so
+        the live state is untouched: pending batch chunks are flushed only
+        inside the snapshot, and post-processing distance evaluations are
+        charged to the snapshot's counters.  Querying is therefore free of
+        side effects — a session queried a thousand times mid-stream ends
+        with exactly the accounting of one that was never queried.
+
+        Raises
+        ------
+        EmptyStreamError
+            If nothing was offered yet.
+        NoFeasibleSolutionError
+            If no (fair) solution can be built from the current state.
+        """
+        if self._offered == 0:
+            raise EmptyStreamError(
+                f"{self._algorithm.name} session received no elements"
+            )
+        snapshot = copy.deepcopy(self)
+        return snapshot._finalize()
+
+    def _finalize(self) -> RunResult:
+        """Flush, extract, and package the result (runs on a snapshot)."""
+        if self._ladder is None:
+            self._activate_from_pending()
+        self._drain(final=True)
+        stream_calls = self._counting.calls
+
+        timer = Timer()
+        with timer.measure():
+            best, extract_stats = self._algorithm._extract(
+                self._ladder, self._blind, self._specific, self._counting
+            )
+        stored = len(self._algorithm._stored_elements(self._blind, self._specific))
+        stats = self._stats
+        stats.extra["num_guesses"] = len(self._ladder)
+        stats.extra.update(extract_stats)
+        stats.stream_seconds = self._stream_seconds
+        stats.postprocess_seconds = timer.elapsed
+        stats.stream_distance_computations = stream_calls
+        stats.postprocess_distance_computations = self._counting.calls - stream_calls
+        stats.record_stored(stored)
+
+        if best is None:
+            raise NoFeasibleSolutionError(self._algorithm._infeasible_message())
+        return RunResult(
+            algorithm=self._algorithm.name,
+            solution=best,
+            stats=stats,
+            params=self._algorithm._run_params(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "active" if self.is_active else "warming up"
+        return (
+            f"StreamingSession({self._algorithm.name}, offered={self._offered}, "
+            f"{state}, pending={len(self._pending)})"
+        )
+
+
+class WindowSession(SessionBase):
+    """Session wrapper around :class:`CheckpointedWindowFDM`.
+
+    The windowed algorithm is already incremental (``process`` /
+    ``solution``); this wrapper gives it the same surface as
+    :class:`StreamingSession` — ``offer*``, RunResult-producing
+    :meth:`solution`, and checkpoint/resume — so servers can treat every
+    session-capable algorithm uniformly.
+    """
+
+    def __init__(self, algorithm: CheckpointedWindowFDM) -> None:
+        super().__init__()
+        self._algorithm = algorithm
+        self._stats = StreamStats()
+
+    @property
+    def algorithm_name(self) -> str:
+        """Name of the wrapped algorithm."""
+        return "WindowFDM"
+
+    def _offer_many(self, chunk: List[Element]) -> None:
+        started = time.perf_counter()
+        self._track_uids(chunk)
+        for element in chunk:
+            self._algorithm.process(element)
+            self._stats.elements_processed += 1
+            self._stats.record_stored(self._algorithm.stored_elements)
+        self._stream_seconds += time.perf_counter() - started
+
+    def solution(self) -> RunResult:
+        """The current windowed solution as a RunResult.
+
+        Unlike :class:`StreamingSession` this never raises on infeasibility:
+        the windowed extractor reports ``solution=None`` (``succeeded`` is
+        ``False``) when the live window cannot satisfy the quotas, matching
+        the one-shot ``WindowFDM`` runner's behaviour.
+        """
+        if self._offered == 0:
+            raise EmptyStreamError("WindowFDM session received no elements")
+        timer = Timer()
+        with timer.measure():
+            solution = self._algorithm.solution()
+        stats = copy.copy(self._stats)
+        stats.extra = dict(self._stats.extra)
+        stats.stream_seconds = self._stream_seconds
+        stats.postprocess_seconds = timer.elapsed
+        return RunResult(
+            algorithm=self.algorithm_name,
+            solution=solution,
+            stats=stats,
+            params={
+                "k": self._algorithm.constraint.total_size,
+                "window": self._algorithm.window,
+                "blocks": self._algorithm.blocks,
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WindowSession(window={self._algorithm.window}, "
+            f"blocks={self._algorithm.blocks}, offered={self._offered})"
+        )

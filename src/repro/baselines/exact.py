@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.solution import diversity_of
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 from repro.utils.validation import require_positive_int
 

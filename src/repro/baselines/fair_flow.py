@@ -30,7 +30,7 @@ from repro.fairness.constraints import FairnessConstraint
 from repro.flow.assignment import solve_cluster_assignment
 from repro.metrics.base import Metric
 from repro.metrics.cached import CountingMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stats import StreamStats
 from repro.utils.errors import InfeasibleConstraintError
 from repro.utils.timer import Timer

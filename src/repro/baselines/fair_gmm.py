@@ -21,7 +21,7 @@ from repro.core.solution import FairSolution, diversity_of
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric
 from repro.metrics.cached import CountingMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stats import StreamStats
 from repro.utils.errors import InfeasibleConstraintError, InvalidParameterError
 from repro.utils.timer import Timer

@@ -18,7 +18,7 @@ from repro.core.solution import Solution
 from repro.data.store import ElementStore
 from repro.metrics.base import Metric, stack_vectors
 from repro.metrics.cached import CountingMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stats import StreamStats
 from repro.utils.errors import InvalidParameterError
 from repro.utils.timer import Timer

@@ -15,7 +15,7 @@ from repro.core.result import RunResult
 from repro.core.solution import Solution
 from repro.metrics.base import Metric
 from repro.metrics.cached import CountingMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stats import StreamStats
 from repro.utils.timer import Timer
 from repro.utils.validation import require_positive_int

@@ -20,9 +20,11 @@ Compare every applicable algorithm on a synthetic stream and save a CSV::
 
     python -m repro compare --dataset synthetic-m10 -k 20 --output results.csv
 
-List the available datasets::
+List the available datasets, or the registered algorithms with their
+capabilities::
 
     python -m repro datasets
+    python -m repro --list-algorithms
 """
 
 from __future__ import annotations
@@ -31,9 +33,11 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.api.registry import algorithm_names, algorithms, get_algorithm
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.evaluation.harness import (
     ExperimentConfig,
+    algorithm_spec,
     default_algorithms,
     extended_algorithms,
     run_algorithm,
@@ -43,17 +47,44 @@ from repro.evaluation.reporting import format_table, records_to_rows, write_csv
 from repro.parallel.backends import backend_names
 from repro.utils.errors import ReproError
 
-_ALGORITHM_CHOICES = (
-    "SFDM1",
-    "SFDM2",
-    "GMM",
-    "FairSwap",
-    "FairFlow",
-    "FairGMM",
-    "Coreset",
-    "WindowFDM",
-    "ParallelFDM",
-)
+
+def format_algorithm_table() -> str:
+    """The registry catalogue as a fixed-width table (``--list-algorithms``)."""
+    rows = []
+    for info in algorithms():
+        caps = info.capabilities
+        flags = [
+            flag
+            for flag, enabled in (
+                ("batch", caps.batch),
+                ("sessions", caps.sessions),
+                ("parallel", caps.parallel),
+            )
+            if enabled
+        ]
+        rows.append(
+            {
+                "algorithm": info.name,
+                "kind": caps.kind,
+                "groups": "any" if caps.max_groups is None else f"<= {caps.max_groups}",
+                "constraint": "fair" if caps.constrained else "none",
+                "capabilities": ",".join(flags) or "-",
+                "description": info.description,
+            }
+        )
+    columns = ["algorithm", "kind", "groups", "constraint", "capabilities", "description"]
+    return format_table(rows, columns=columns, title="registered algorithms")
+
+
+class _ListAlgorithmsAction(argparse.Action):
+    """``repro --list-algorithms``: print the registry catalogue and exit."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(format_algorithm_table())
+        parser.exit(0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,18 +93,28 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Streaming fair diversity maximization (ICDE 2022 reproduction)",
     )
+    parser.add_argument(
+        "--list-algorithms",
+        action=_ListAlgorithmsAction,
+        help="print the registered algorithms with kinds and capabilities, then exit",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     datasets_parser = subparsers.add_parser("datasets", help="list available datasets")
     datasets_parser.set_defaults(func=_cmd_datasets)
 
+    algorithms_parser = subparsers.add_parser(
+        "algorithms", help="list registered algorithms and their capabilities"
+    )
+    algorithms_parser.set_defaults(func=_cmd_algorithms)
+
     run_parser = subparsers.add_parser("run", help="run one algorithm on one dataset")
     _add_common_arguments(run_parser)
     run_parser.add_argument(
         "--algorithm",
-        choices=_ALGORITHM_CHOICES,
+        choices=tuple(algorithm_names()),
         default="SFDM2",
-        help="algorithm to run (default: SFDM2)",
+        help="algorithm to run, by registry name (default: SFDM2)",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -172,15 +213,31 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    print(format_algorithm_table())
+    return 0
+
+
+def _options_for(args: argparse.Namespace, name: str) -> dict:
+    """The CLI flags that apply to algorithm ``name``, per its capabilities.
+
+    Flags the entry does not declare (e.g. ``--shards`` for SFDM2) are
+    dropped — every flag has a sensible default, so filtering by declared
+    option names keeps ``repro run`` forgiving while ``repro.solve`` stays
+    strict.
+    """
+    accepted = get_algorithm(name).capabilities.options
+    flag_values = {
+        "batch_size": args.batch_size,
+        "shards": args.shards,
+        "backend": args.backend,
+    }
+    return {key: value for key, value in flag_values.items() if key in accepted}
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _make_config(args)
-    algorithms = default_algorithms(
-        include_fair_gmm=True, batch_size=args.batch_size
-    ) + extended_algorithms(shards=args.shards, backend=args.backend)
-    spec = next((s for s in algorithms if s.name == args.algorithm), None)
-    if spec is None:
-        print(f"unknown algorithm {args.algorithm}", file=sys.stderr)
-        return 2
+    spec = algorithm_spec(args.algorithm, **_options_for(args, args.algorithm))
     record = run_algorithm(spec, config)
     rows = records_to_rows([record], columns=_COLUMNS)
     print(format_table(rows, columns=_COLUMNS, title=f"{args.algorithm} on {args.dataset}"))

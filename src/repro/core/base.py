@@ -11,22 +11,34 @@ classes read close to the paper's pseudocode.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.candidate import Candidate
 from repro.core.guesses import GuessLadder
+from repro.core.result import RunResult
+from repro.core.solution import Solution
 from repro.data.store import ElementStore, store_rows_of
 from repro.metrics.base import Metric
 from repro.metrics.cached import CountingMetric
 from repro.metrics.space import exact_distance_bounds
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stats import StreamStats
 from repro.streaming.stream import iter_batches
-from repro.utils.errors import EmptyStreamError, InvalidParameterError
+from repro.utils.errors import (
+    EmptyStreamError,
+    InvalidParameterError,
+    NoFeasibleSolutionError,
+)
 from repro.utils.timer import StageTimer
 from repro.utils.validation import require_in_open_interval
+
+#: The candidate state one run (or one live session) of a streaming
+#: algorithm maintains: one group-blind candidate per guess level, plus —
+#: for the fair algorithms — one group-specific candidate per (level,
+#: group) pair (``None`` for the unconstrained Algorithm 1).
+CandidateState = Tuple[List[Candidate], Optional[List[Dict[int, Candidate]]]]
 
 
 class IngestPlan:
@@ -155,6 +167,102 @@ class StreamingAlgorithm:
         if batch_size is not None and batch_size < 1:
             raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
         self.batch_size = None if batch_size is None else int(batch_size)
+
+    # ------------------------------------------------------------------
+    # Template run: resolve bounds, build candidates, ingest, extract
+    # ------------------------------------------------------------------
+    def run(self, stream: Iterable[Element]) -> RunResult:
+        """Consume ``stream`` in one pass and return the best solution found.
+
+        The skeleton is shared by every streaming algorithm: resolve the
+        distance bounds (buffering a warmup prefix when they are not
+        given), build the guess ladder and its candidates
+        (:meth:`_make_candidates`), feed the stream through the ingestion
+        engine, and post-process the candidates into the best solution
+        (:meth:`_extract`).  Subclasses supply only the two hooks plus
+        their parameter/report metadata — the same hooks the long-lived
+        session API (:mod:`repro.api.session`) drives incrementally.
+
+        Raises
+        ------
+        NoFeasibleSolutionError
+            If no candidate state admits a (fair) solution.
+        """
+        counting = self._counting_metric()
+        stats, stages = self._new_stats()
+        with stages.stage("stream"):
+            bounds, plan = self._resolve_bounds(stream, counting)
+            ladder = self._build_ladder(bounds)
+            blind, specific = self._make_candidates(ladder, counting)
+            self._ingest(plan, blind, specific, stats, counting)
+        stream_calls = counting.calls
+
+        with stages.stage("postprocess"):
+            best, extract_stats = self._extract(ladder, blind, specific, counting)
+
+        stored = len(self._stored_elements(blind, specific))
+        stats.extra["num_guesses"] = len(ladder)
+        stats.extra.update(extract_stats)
+        self._finalize_stats(stats, stages, counting, stream_calls, stored)
+
+        if best is None:
+            raise NoFeasibleSolutionError(self._infeasible_message())
+        return RunResult(
+            algorithm=self.name,
+            solution=best,
+            stats=stats,
+            params=self._run_params(),
+        )
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _make_candidates(self, ladder: GuessLadder, metric: Metric) -> CandidateState:
+        """Fresh candidates for every guess level (one run's mutable state)."""
+        raise NotImplementedError
+
+    def _extract(
+        self,
+        ladder: GuessLadder,
+        blind: List[Candidate],
+        specific: Optional[List[Dict[int, Candidate]]],
+        metric: Metric,
+    ) -> Tuple[Optional[Solution], Dict[str, float]]:
+        """Post-process the candidate state into ``(best solution, extra stats)``.
+
+        ``best`` is ``None`` when no (fair) solution could be built; the
+        extra-stats mapping is merged into ``stats.extra``.  Extraction
+        must not mutate the candidates: the session API calls it on live
+        state to answer queries mid-stream.
+        """
+        raise NotImplementedError
+
+    def _infeasible_message(self) -> str:
+        """Error message when no feasible solution was found."""
+        return (
+            f"{self.name} could not build a solution; the stream may not "
+            f"contain enough suitable elements"
+        )
+
+    def _run_params(self) -> Dict[str, Any]:
+        """The parameter mapping recorded in the :class:`RunResult`."""
+        return {"epsilon": self.epsilon}
+
+    @staticmethod
+    def _stored_elements(
+        blind: List[Candidate], specific: Optional[List[Dict[int, Candidate]]]
+    ) -> List[Element]:
+        """All distinct elements currently held by any candidate."""
+        seen: Dict[int, Element] = {}
+        for candidate in blind:
+            for element in candidate:
+                seen.setdefault(element.uid, element)
+        if specific is not None:
+            for per_group in specific:
+                for candidate in per_group.values():
+                    for element in candidate:
+                        seen.setdefault(element.uid, element)
+        return list(seen.values())
 
     # ------------------------------------------------------------------
     # Helpers shared by subclasses

@@ -39,7 +39,7 @@ from typing import Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.metrics.base import Metric
-from repro.streaming.element import Element
+from repro.data.element import Element
 
 
 class Candidate:

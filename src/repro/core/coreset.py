@@ -24,7 +24,7 @@ from repro.core.postprocess import greedy_fair_fill
 from repro.core.solution import FairSolution
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.validation import require_non_empty, require_positive_int
 
 

@@ -21,7 +21,7 @@ import numpy as np
 from repro.data.store import store_rows_of
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric, stack_vectors
-from repro.streaming.element import Element
+from repro.data.element import Element
 
 
 def distance_to_set(element: Element, subset: Sequence[Element], metric: Metric) -> float:

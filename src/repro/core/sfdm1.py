@@ -11,17 +11,16 @@ elements of the over-filled group.  The result is ``(1-ε)/4``-approximate
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.base import StreamingAlgorithm
+from repro.core.base import CandidateState, StreamingAlgorithm
 from repro.core.candidate import Candidate
+from repro.core.guesses import GuessLadder
 from repro.core.postprocess import balance_by_swapping, greedy_fair_fill
-from repro.core.result import RunResult
 from repro.core.solution import FairSolution
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric
-from repro.streaming.element import Element
-from repro.utils.errors import InvalidParameterError, NoFeasibleSolutionError
+from repro.utils.errors import InvalidParameterError
 
 
 class SFDM1(StreamingAlgorithm):
@@ -76,100 +75,82 @@ class SFDM1(StreamingAlgorithm):
         self.fallback = bool(fallback)
 
     # ------------------------------------------------------------------
-    def run(self, stream: Iterable[Element]) -> RunResult:
-        """Consume ``stream`` in one pass and return a fair solution."""
-        counting = self._counting_metric()
-        stats, stages = self._new_stats()
+    # Hooks driven by the shared run template and the session API
+    # ------------------------------------------------------------------
+    def _make_candidates(self, ladder: GuessLadder, metric: Metric) -> CandidateState:
+        """One blind candidate (capacity ``k``) and per-group candidates (``k_i``)."""
+        k = self.constraint.total_size
+        blind: List[Candidate] = []
+        specific: List[Dict[int, Candidate]] = []
+        for mu in ladder:
+            blind.append(Candidate(mu=mu, capacity=k, metric=metric))
+            specific.append(
+                {
+                    group: Candidate(
+                        mu=mu,
+                        capacity=self.constraint.quota(group),
+                        metric=metric,
+                        group=group,
+                    )
+                    for group in self.constraint.groups
+                }
+            )
+        return blind, specific
+
+    def _extract(
+        self,
+        ladder: GuessLadder,
+        blind: List[Candidate],
+        specific: Optional[List[Dict[int, Candidate]]],
+        metric: Metric,
+    ) -> Tuple[Optional[FairSolution], Dict[str, float]]:
+        """Balance-by-swapping over the eligible guesses (lines 9–14)."""
         k = self.constraint.total_size
         groups = self.constraint.groups
-
-        with stages.stage("stream"):
-            bounds, plan = self._resolve_bounds(stream, counting)
-            ladder = self._build_ladder(bounds)
-            blind: List[Candidate] = []
-            specific: List[Dict[int, Candidate]] = []
-            for mu in ladder:
-                blind.append(Candidate(mu=mu, capacity=k, metric=counting))
-                specific.append(
-                    {
-                        group: Candidate(
-                            mu=mu,
-                            capacity=self.constraint.quota(group),
-                            metric=counting,
-                            group=group,
-                        )
-                        for group in groups
-                    }
-                )
-            self._ingest(plan, blind, specific, stats, counting)
-        stream_calls = counting.calls
-
-        with stages.stage("postprocess"):
-            best: Optional[FairSolution] = None
-            eligible_count = 0
-            for index in range(len(ladder)):
-                if len(blind[index]) != k:
-                    continue
-                if any(
-                    len(specific[index][group]) != self.constraint.quota(group)
-                    for group in groups
-                ):
-                    continue
-                eligible_count += 1
-                balanced = balance_by_swapping(
-                    blind=blind[index].elements,
-                    group_candidates={
-                        group: specific[index][group].elements for group in groups
-                    },
-                    constraint=self.constraint,
-                    metric=counting,
-                )
-                candidate_solution = FairSolution(balanced, counting, self.constraint)
-                if not candidate_solution.is_fair:
-                    continue
-                if best is None or candidate_solution.diversity > best.diversity:
-                    best = candidate_solution
-
-            if best is None and self.fallback:
-                pool = self._stored_elements(blind, specific)
-                filled = greedy_fair_fill(pool, self.constraint, counting)
-                candidate_solution = FairSolution(filled, counting, self.constraint)
-                if candidate_solution.is_fair:
-                    best = candidate_solution
-
-        stored = len({e.uid for e in self._stored_elements(blind, specific)})
-        stats.extra["num_guesses"] = len(ladder)
-        stats.extra["eligible_guesses"] = eligible_count
-        self._finalize_stats(stats, stages, counting, stream_calls, stored)
-
-        if best is None:
-            raise NoFeasibleSolutionError(
-                "SFDM1 could not build a fair solution; the stream may not contain "
-                "enough elements of every group"
+        best: Optional[FairSolution] = None
+        eligible_count = 0
+        for index in range(len(ladder)):
+            if len(blind[index]) != k:
+                continue
+            if any(
+                len(specific[index][group]) != self.constraint.quota(group)
+                for group in groups
+            ):
+                continue
+            eligible_count += 1
+            balanced = balance_by_swapping(
+                blind=blind[index].elements,
+                group_candidates={
+                    group: specific[index][group].elements for group in groups
+                },
+                constraint=self.constraint,
+                metric=metric,
             )
-        return RunResult(
-            algorithm=self.name,
-            solution=best,
-            stats=stats,
-            params={
-                "k": k,
-                "epsilon": self.epsilon,
-                "quotas": self.constraint.quotas,
-            },
+            candidate_solution = FairSolution(balanced, metric, self.constraint)
+            if not candidate_solution.is_fair:
+                continue
+            if best is None or candidate_solution.diversity > best.diversity:
+                best = candidate_solution
+
+        if best is None and self.fallback:
+            pool = self._stored_elements(blind, specific)
+            filled = greedy_fair_fill(pool, self.constraint, metric)
+            candidate_solution = FairSolution(filled, metric, self.constraint)
+            if candidate_solution.is_fair:
+                best = candidate_solution
+        return best, {"eligible_guesses": eligible_count}
+
+    def _infeasible_message(self) -> str:
+        """Error message when no feasible solution was found."""
+        return (
+            "SFDM1 could not build a fair solution; the stream may not contain "
+            "enough elements of every group"
         )
 
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _stored_elements(
-        blind: List[Candidate], specific: List[Dict[int, Candidate]]
-    ) -> List[Element]:
-        """All distinct elements currently held by any candidate."""
-        seen: Dict[int, Element] = {}
-        for candidate in blind:
-            for element in candidate:
-                seen.setdefault(element.uid, element)
-        for per_group in specific:
-            for candidate in per_group.values():
-                for element in candidate:
-                    seen.setdefault(element.uid, element)
-        return list(seen.values())
+    def _run_params(self) -> Dict[str, Any]:
+        """The parameter mapping recorded in the :class:`RunResult`."""
+        return {
+            "k": self.constraint.total_size,
+            "epsilon": self.epsilon,
+            "quotas": self.constraint.quotas,
+        }

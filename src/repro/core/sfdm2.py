@@ -14,20 +14,19 @@ result is ``(1-ε)/(3m+2)``-approximate (Theorem 4).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.core.base import StreamingAlgorithm
+from repro.core.base import CandidateState, StreamingAlgorithm
 from repro.core.candidate import Candidate
+from repro.core.guesses import GuessLadder
 from repro.core.postprocess import cluster_elements, distance_to_set, greedy_fair_fill
-from repro.core.result import RunResult
 from repro.core.solution import FairSolution
 from repro.fairness.constraints import FairnessConstraint
 from repro.matroids.cluster import ClusterMatroid
 from repro.matroids.intersection import matroid_intersection
 from repro.matroids.partition import matroid_from_constraint
 from repro.metrics.base import Metric
-from repro.streaming.element import Element
-from repro.utils.errors import NoFeasibleSolutionError
+from repro.data.element import Element
 
 
 class SFDM2(StreamingAlgorithm):
@@ -87,85 +86,83 @@ class SFDM2(StreamingAlgorithm):
         self.greedy_augmentation = bool(greedy_augmentation)
 
     # ------------------------------------------------------------------
-    def run(self, stream: Iterable[Element]) -> RunResult:
-        """Consume ``stream`` in one pass and return a fair solution."""
-        counting = self._counting_metric()
-        stats, stages = self._new_stats()
+    # Hooks driven by the shared run template and the session API
+    # ------------------------------------------------------------------
+    def _make_candidates(self, ladder: GuessLadder, metric: Metric) -> CandidateState:
+        """One blind and one per-group candidate per level, all with capacity ``k``."""
+        k = self.constraint.total_size
+        blind: List[Candidate] = []
+        specific: List[Dict[int, Candidate]] = []
+        for mu in ladder:
+            blind.append(Candidate(mu=mu, capacity=k, metric=metric))
+            specific.append(
+                {
+                    group: Candidate(mu=mu, capacity=k, metric=metric, group=group)
+                    for group in self.constraint.groups
+                }
+            )
+        return blind, specific
+
+    def _extract(
+        self,
+        ladder: GuessLadder,
+        blind: List[Candidate],
+        specific: Optional[List[Dict[int, Candidate]]],
+        metric: Metric,
+    ) -> Tuple[Optional[FairSolution], Dict[str, float]]:
+        """Matroid-intersection post-processing over the eligible guesses."""
         k = self.constraint.total_size
         groups = self.constraint.groups
         m = self.constraint.num_groups
-
-        with stages.stage("stream"):
-            bounds, plan = self._resolve_bounds(stream, counting)
-            ladder = self._build_ladder(bounds)
-            blind: List[Candidate] = []
-            specific: List[Dict[int, Candidate]] = []
-            for mu in ladder:
-                blind.append(Candidate(mu=mu, capacity=k, metric=counting))
-                specific.append(
-                    {
-                        group: Candidate(mu=mu, capacity=k, metric=counting, group=group)
-                        for group in groups
-                    }
-                )
-            self._ingest(plan, blind, specific, stats, counting)
-        stream_calls = counting.calls
-
-        with stages.stage("postprocess"):
-            best: Optional[FairSolution] = None
-            eligible_count = 0
-            for index in range(len(ladder)):
-                if len(blind[index]) != k:
-                    continue
-                if any(
-                    len(specific[index][group]) < self.constraint.quota(group)
-                    for group in groups
-                ):
-                    continue
-                eligible_count += 1
-                solution_elements = self._postprocess_guess(
-                    mu=ladder[index],
-                    blind=blind[index],
-                    specific=specific[index],
-                    metric=counting,
-                    m=m,
-                )
-                if solution_elements is None:
-                    continue
-                candidate_solution = FairSolution(solution_elements, counting, self.constraint)
-                if not candidate_solution.is_fair:
-                    continue
-                if best is None or candidate_solution.diversity > best.diversity:
-                    best = candidate_solution
-
-            if best is None and self.fallback:
-                pool = self._stored_elements(blind, specific)
-                filled = greedy_fair_fill(pool, self.constraint, counting)
-                candidate_solution = FairSolution(filled, counting, self.constraint)
-                if candidate_solution.is_fair:
-                    best = candidate_solution
-
-        stored = len({e.uid for e in self._stored_elements(blind, specific)})
-        stats.extra["num_guesses"] = len(ladder)
-        stats.extra["eligible_guesses"] = eligible_count
-        self._finalize_stats(stats, stages, counting, stream_calls, stored)
-
-        if best is None:
-            raise NoFeasibleSolutionError(
-                "SFDM2 could not build a fair solution; the stream may not contain "
-                "enough elements of every group"
+        best: Optional[FairSolution] = None
+        eligible_count = 0
+        for index in range(len(ladder)):
+            if len(blind[index]) != k:
+                continue
+            if any(
+                len(specific[index][group]) < self.constraint.quota(group)
+                for group in groups
+            ):
+                continue
+            eligible_count += 1
+            solution_elements = self._postprocess_guess(
+                mu=ladder[index],
+                blind=blind[index],
+                specific=specific[index],
+                metric=metric,
+                m=m,
             )
-        return RunResult(
-            algorithm=self.name,
-            solution=best,
-            stats=stats,
-            params={
-                "k": k,
-                "epsilon": self.epsilon,
-                "quotas": self.constraint.quotas,
-                "m": m,
-            },
+            if solution_elements is None:
+                continue
+            candidate_solution = FairSolution(solution_elements, metric, self.constraint)
+            if not candidate_solution.is_fair:
+                continue
+            if best is None or candidate_solution.diversity > best.diversity:
+                best = candidate_solution
+
+        if best is None and self.fallback:
+            pool = self._stored_elements(blind, specific)
+            filled = greedy_fair_fill(pool, self.constraint, metric)
+            candidate_solution = FairSolution(filled, metric, self.constraint)
+            if candidate_solution.is_fair:
+                best = candidate_solution
+        return best, {"eligible_guesses": eligible_count}
+
+    def _infeasible_message(self) -> str:
+        """Error message when no feasible solution was found."""
+        return (
+            "SFDM2 could not build a fair solution; the stream may not contain "
+            "enough elements of every group"
         )
+
+    def _run_params(self) -> Dict[str, Any]:
+        """The parameter mapping recorded in the :class:`RunResult`."""
+        return {
+            "k": self.constraint.total_size,
+            "epsilon": self.epsilon,
+            "quotas": self.constraint.quotas,
+            "m": self.constraint.num_groups,
+        }
 
     # ------------------------------------------------------------------
     def _postprocess_guess(
@@ -235,19 +232,3 @@ class SFDM2(StreamingAlgorithm):
         if len(augmented) < self.constraint.total_size:
             return None
         return sorted(augmented, key=lambda element: element.uid)
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _stored_elements(
-        blind: List[Candidate], specific: List[Dict[int, Candidate]]
-    ) -> List[Element]:
-        """All distinct elements currently held by any candidate."""
-        seen: Dict[int, Element] = {}
-        for candidate in blind:
-            for element in candidate:
-                seen.setdefault(element.uid, element)
-        for per_group in specific:
-            for candidate in per_group.values():
-                for element in candidate:
-                    seen.setdefault(element.uid, element)
-        return list(seen.values())

@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.fairness.constraints import FairnessAudit, FairnessConstraint, audit_fairness
 from repro.metrics.base import Metric, stack_vectors
-from repro.streaming.element import Element
+from repro.data.element import Element
 
 
 def diversity_of(elements: Sequence[Element], metric: Metric) -> float:

@@ -8,15 +8,13 @@ building block both SFDM algorithms use during their stream phase.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.base import StreamingAlgorithm
+from repro.core.base import CandidateState, StreamingAlgorithm
 from repro.core.candidate import Candidate
-from repro.core.result import RunResult
+from repro.core.guesses import GuessLadder
 from repro.core.solution import Solution
 from repro.metrics.base import Metric
-from repro.streaming.element import Element
-from repro.utils.errors import NoFeasibleSolutionError
 from repro.utils.validation import require_positive_int
 
 
@@ -60,46 +58,37 @@ class StreamingDiversityMaximization(StreamingAlgorithm):
         )
         self.k = require_positive_int(k, "k")
 
-    def run(self, stream: Iterable[Element]) -> RunResult:
-        """Process ``stream`` in one pass and return the best size-``k`` candidate.
+    # ------------------------------------------------------------------
+    # Hooks driven by the shared run template and the session API
+    # ------------------------------------------------------------------
+    def _make_candidates(self, ladder: GuessLadder, metric: Metric) -> CandidateState:
+        """One group-blind candidate with capacity ``k`` per guess level."""
+        return [Candidate(mu=mu, capacity=self.k, metric=metric) for mu in ladder], None
 
-        Raises
-        ------
-        NoFeasibleSolutionError
-            If no candidate reached ``k`` elements (e.g. the stream has
-            fewer than ``k`` distinct points for every guess).
-        """
-        counting = self._counting_metric()
-        stats, stages = self._new_stats()
-        with stages.stage("stream"):
-            bounds, plan = self._resolve_bounds(stream, counting)
-            ladder = self._build_ladder(bounds)
-            candidates = [
-                Candidate(mu=mu, capacity=self.k, metric=counting) for mu in ladder
-            ]
-            self._ingest(plan, candidates, None, stats, counting)
-        stream_calls = counting.calls
+    def _extract(
+        self,
+        ladder: GuessLadder,
+        blind: List[Candidate],
+        specific: Optional[List[Dict[int, Candidate]]],
+        metric: Metric,
+    ) -> Tuple[Optional[Solution], Dict[str, float]]:
+        """The best candidate among those that reached size ``k``."""
+        best_solution: Optional[Solution] = None
+        for candidate in blind:
+            if len(candidate) != self.k:
+                continue
+            solution = Solution(candidate.elements, metric)
+            if best_solution is None or solution.diversity > best_solution.diversity:
+                best_solution = solution
+        return best_solution, {}
 
-        with stages.stage("postprocess"):
-            full = [candidate for candidate in candidates if len(candidate) == self.k]
-            best_solution: Optional[Solution] = None
-            for candidate in full:
-                solution = Solution(candidate.elements, counting)
-                if best_solution is None or solution.diversity > best_solution.diversity:
-                    best_solution = solution
-
-        stored = len({element.uid for candidate in candidates for element in candidate})
-        stats.extra["num_guesses"] = len(ladder)
-        self._finalize_stats(stats, stages, counting, stream_calls, stored)
-
-        if best_solution is None:
-            raise NoFeasibleSolutionError(
-                f"no guess produced a candidate of size k={self.k}; "
-                f"the stream may contain fewer than k distinct points"
-            )
-        return RunResult(
-            algorithm=self.name,
-            solution=best_solution,
-            stats=stats,
-            params={"k": self.k, "epsilon": self.epsilon},
+    def _infeasible_message(self) -> str:
+        """Error message when no candidate reached size ``k``."""
+        return (
+            f"no guess produced a candidate of size k={self.k}; "
+            f"the stream may contain fewer than k distinct points"
         )
+
+    def _run_params(self) -> Dict[str, Any]:
+        """The parameter mapping recorded in the :class:`RunResult`."""
+        return {"k": self.k, "epsilon": self.epsilon}

@@ -2,7 +2,7 @@
 
 The streaming algorithms spend their wall-clock in NumPy distance kernels;
 what used to surround those kernels was Python object plumbing — every
-layer re-packed per-:class:`~repro.streaming.element.Element` payloads into
+layer re-packed per-:class:`~repro.data.element.Element` payloads into
 fresh arrays (one list comprehension per chunk *per guess level* during
 ingestion, one re-stack per post-processing call, one pickle per element on
 the way to process workers).  The :class:`ElementStore` fixes the data
@@ -17,7 +17,7 @@ int64 ``groups[n]`` / ``uids[n]`` columns, so that
   thousands of ``Element`` objects.
 
 ``Element`` survives as a *thin view*: :meth:`ElementStore.element` returns
-an ordinary :class:`~repro.streaming.element.Element` whose ``vector`` is a
+an ordinary :class:`~repro.data.element.Element` whose ``vector`` is a
 zero-copy row view of ``features`` and whose ``store``/``row`` back-pointers
 let consumers (``stack_vectors``, the ``*_idx`` metric kernels, the shard
 packer) recover columnar access from an element list without copying.

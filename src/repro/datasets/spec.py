@@ -8,7 +8,7 @@ from typing import Dict, List, Optional
 from repro.data.store import ElementStore
 from repro.metrics.base import Metric
 from repro.metrics.space import MetricSpace
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stream import DataStream
 
 

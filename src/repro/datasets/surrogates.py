@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.datasets.spec import DatasetSpec
 from repro.metrics.vector import AngularMetric, EuclideanMetric, ManhattanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import require_positive_int

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.datasets.spec import DatasetSpec
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import require_positive_int
 

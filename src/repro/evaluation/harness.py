@@ -9,37 +9,29 @@ The harness mirrors the paper's experimental protocol:
   memory, which is reflected in their stored-element accounting);
 * the per-run records carry diversity, timings, and space so each
   table/figure script only needs to select and format columns.
+
+All dispatch goes through the :mod:`repro.api.registry`: a harness
+:class:`AlgorithmSpec` is a registry entry plus a frozen, eagerly-validated
+option set, and the suite builders (:func:`streaming_algorithms`,
+:func:`offline_algorithms`, :func:`extended_algorithms`) are registry
+queries — there are no per-family runner closures here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.baselines.fair_flow import fair_flow
-from repro.baselines.fair_gmm import fair_gmm
-from repro.baselines.fair_swap import fair_swap
-from repro.baselines.gmm import gmm
-from repro.core.coreset import coreset_fair_diversity
+from repro.api.registry import RegisteredAlgorithm, RunContext, get_algorithm
 from repro.core.result import RunResult
-from repro.core.sfdm1 import SFDM1
-from repro.core.sfdm2 import SFDM2
 from repro.datasets.spec import DatasetSpec
 from repro.fairness.constraints import (
     FairnessConstraint,
     equal_representation,
     proportional_representation,
 )
-from repro.parallel.backends import resolve_backend
-from repro.parallel.driver import ParallelFDM
-from repro.parallel.planner import ShardPlanner
-from repro.parallel.summarize import resolve_summarizer
-from repro.streaming.stats import StreamStats
-from repro.streaming.window import CheckpointedWindowFDM
 from repro.utils.errors import InvalidParameterError, ReproError
 from repro.utils.rng import derive_seed
-from repro.utils.timer import Timer
-from repro.utils.validation import require_positive_int
 
 #: An algorithm runner takes (dataset, constraint, epsilon, permutation seed)
 #: and returns a RunResult.
@@ -48,7 +40,12 @@ AlgorithmRunner = Callable[[DatasetSpec, FairnessConstraint, float, Optional[int
 
 @dataclass
 class AlgorithmSpec:
-    """A named algorithm plus the runner closure the harness invokes."""
+    """A named algorithm plus the runner the harness invokes.
+
+    Specs are normally built from the registry with :func:`algorithm_spec`;
+    the ``runner`` field remains a plain callable so tests and downstream
+    code can still inject custom algorithms without registering them.
+    """
 
     name: str
     runner: AlgorithmRunner
@@ -63,91 +60,70 @@ class AlgorithmSpec:
         return self.max_groups is None or constraint.num_groups <= self.max_groups
 
 
-def _make_streaming_runner(algorithm_class, batch_size: Optional[int]) -> AlgorithmRunner:
-    """Runner closure for a streaming algorithm with a fixed ``batch_size``."""
+def _registry_runner(
+    entry: RegisteredAlgorithm, options: Dict[str, Any]
+) -> AlgorithmRunner:
+    """The one generic runner: dispatch a harness cell through the registry."""
 
     def _run(
-        dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
+        dataset: DatasetSpec,
+        constraint: FairnessConstraint,
+        epsilon: float,
+        seed: Optional[int],
     ) -> RunResult:
-        algorithm = algorithm_class(
-            metric=dataset.metric,
-            constraint=constraint,
-            epsilon=epsilon,
-            batch_size=batch_size,
+        context = RunContext.from_dataset(
+            dataset, constraint, epsilon=epsilon, seed=seed, options=options
         )
-        return algorithm.run(dataset.stream(seed=seed))
+        return entry.run(context)
 
     return _run
 
 
-#: Element-at-a-time default runners (kept for backwards compatibility with
-#: callers that import them directly).
-_run_sfdm1 = _make_streaming_runner(SFDM1, None)
-_run_sfdm2 = _make_streaming_runner(SFDM2, None)
+def algorithm_spec(name: str, **options: Any) -> AlgorithmSpec:
+    """A harness :class:`AlgorithmSpec` for the registered algorithm ``name``.
 
-
-def _run_gmm(
-    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
-) -> RunResult:
-    return gmm(dataset.elements, dataset.metric, constraint.total_size)
-
-
-def _run_fair_swap(
-    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
-) -> RunResult:
-    return fair_swap(dataset.elements, dataset.metric, constraint)
-
-
-def _run_fair_flow(
-    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
-) -> RunResult:
-    return fair_flow(dataset.elements, dataset.metric, constraint)
-
-
-def _run_fair_gmm(
-    dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
-) -> RunResult:
-    return fair_gmm(dataset.elements, dataset.metric, constraint)
+    Options are validated eagerly against the registry entry's declared
+    capabilities (mirroring the historical harness convention): a bad
+    shard count, backend name, batch size, or unknown option raises
+    :class:`InvalidParameterError` here, before any run starts, instead of
+    being absorbed into per-repetition failure accounting.
+    """
+    entry = get_algorithm(name)
+    cleaned = entry.validate_options(options)
+    return AlgorithmSpec(
+        name=entry.name,
+        runner=_registry_runner(entry, cleaned),
+        streaming=entry.capabilities.streaming,
+        max_groups=entry.capabilities.max_groups,
+    )
 
 
 def streaming_algorithms(batch_size: Optional[int] = None) -> List[AlgorithmSpec]:
-    """The paper's proposed streaming algorithms.
+    """The paper's proposed streaming algorithms (a registry query).
 
     Parameters
     ----------
     batch_size:
         When set, SFDM1 and SFDM2 consume the stream through the vectorized
         batch ingestion path in chunks of this size; ``None`` (default)
-        keeps the element-at-a-time updates.  Validated here, before any
-        run starts, so a bad value fails loudly instead of being absorbed
-        into the harness's per-repetition failure accounting.
+        keeps the element-at-a-time updates.  Validated eagerly, before any
+        run starts.
     """
-    if batch_size is not None and batch_size < 1:
-        raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
     return [
-        AlgorithmSpec(
-            name="SFDM1",
-            runner=_make_streaming_runner(SFDM1, batch_size),
-            streaming=True,
-            max_groups=2,
-        ),
-        AlgorithmSpec(
-            name="SFDM2", runner=_make_streaming_runner(SFDM2, batch_size), streaming=True
-        ),
+        algorithm_spec("SFDM1", batch_size=batch_size),
+        algorithm_spec("SFDM2", batch_size=batch_size),
     ]
 
 
 def offline_algorithms(include_fair_gmm: bool = False) -> List[AlgorithmSpec]:
     """The offline comparison algorithms (GMM, FairSwap, FairFlow[, FairGMM])."""
     specs = [
-        AlgorithmSpec(name="GMM", runner=_run_gmm, streaming=False),
-        AlgorithmSpec(name="FairSwap", runner=_run_fair_swap, streaming=False, max_groups=2),
-        AlgorithmSpec(name="FairFlow", runner=_run_fair_flow, streaming=False),
+        algorithm_spec("GMM"),
+        algorithm_spec("FairSwap"),
+        algorithm_spec("FairFlow"),
     ]
     if include_fair_gmm:
-        specs.append(
-            AlgorithmSpec(name="FairGMM", runner=_run_fair_gmm, streaming=False, max_groups=5)
-        )
+        specs.append(algorithm_spec("FairGMM"))
     return specs
 
 
@@ -157,121 +133,37 @@ def parallel_algorithm(
     strategy: str = "stratified",
     summarizer: str = "gmm",
 ) -> AlgorithmSpec:
-    """The sharded :class:`ParallelFDM` engine as a harness algorithm.
+    """The sharded ParallelFDM engine as a harness algorithm.
 
-    Parameters are validated eagerly (mirroring the ``batch_size``
-    convention): an invalid shard count, backend name, strategy, or
-    summarizer raises :class:`InvalidParameterError` here, before any run
-    starts, instead of being absorbed into per-repetition failure
-    accounting.
+    Parameters are validated eagerly through the registry entry: an invalid
+    shard count, backend name, strategy, or summarizer raises
+    :class:`InvalidParameterError` here, before any run starts.
     """
-    shards = require_positive_int(shards, "shards")
-    resolve_backend(backend)
-    ShardPlanner(shards, strategy=strategy)
-    resolve_summarizer(summarizer)
-
-    def _run(
-        dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
-    ) -> RunResult:
-        algorithm = ParallelFDM(
-            metric=dataset.metric,
-            constraint=constraint,
-            shards=shards,
-            backend=backend,
-            strategy=strategy,
-            summarizer=summarizer,
-            seed=seed,
-        )
-        return algorithm.run(dataset.stream(seed=seed))
-
-    return AlgorithmSpec(name="ParallelFDM", runner=_run, streaming=True)
+    return algorithm_spec(
+        "ParallelFDM",
+        shards=shards,
+        backend=backend,
+        strategy=strategy,
+        summarizer=summarizer,
+    )
 
 
 def coreset_algorithm(num_parts: int = 4, refine_with_swap: bool = True) -> AlgorithmSpec:
-    """The sequential composable-coreset route as a harness algorithm.
-
-    Wraps :func:`repro.core.coreset.coreset_fair_diversity` — previously a
-    library-only utility — with the timing and storage accounting the
-    harness expects.  Like the other offline algorithms it holds the full
-    dataset in memory, which the stored-element counters reflect.
-    """
-    num_parts = require_positive_int(num_parts, "num_parts")
-
-    def _run(
-        dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
-    ) -> RunResult:
-        timer = Timer()
-        with timer.measure():
-            solution = coreset_fair_diversity(
-                dataset.elements,
-                dataset.metric,
-                constraint,
-                num_parts=num_parts,
-                refine_with_swap=refine_with_swap,
-            )
-        stats = StreamStats(
-            elements_processed=dataset.size,
-            peak_stored_elements=dataset.size,
-            final_stored_elements=dataset.size,
-            stream_seconds=timer.elapsed,
-        )
-        return RunResult(
-            algorithm="Coreset",
-            solution=solution,
-            stats=stats,
-            params={"k": constraint.total_size, "num_parts": num_parts},
-        )
-
-    return AlgorithmSpec(name="Coreset", runner=_run, streaming=False)
+    """The sequential composable-coreset route as a harness algorithm."""
+    return algorithm_spec(
+        "Coreset", num_parts=num_parts, refine_with_swap=refine_with_swap
+    )
 
 
 def window_algorithm(window: Optional[int] = None, blocks: int = 8) -> AlgorithmSpec:
     """The checkpointed sliding-window algorithm as a harness algorithm.
 
-    Wraps :class:`repro.streaming.window.CheckpointedWindowFDM`.  With the
-    default ``window=None`` the window spans the whole stream (no element
-    ever expires), which exercises the block-summary machinery as a
+    With the default ``window=None`` the window spans the whole stream (no
+    element ever expires), which exercises the block-summary machinery as a
     low-memory one-pass summarizer; pass an explicit window length for the
     genuine sliding-window regime.
     """
-    if window is not None:
-        window = require_positive_int(window, "window")
-    blocks = require_positive_int(blocks, "blocks")
-
-    def _run(
-        dataset: DatasetSpec, constraint: FairnessConstraint, epsilon: float, seed: Optional[int]
-    ) -> RunResult:
-        effective_window = window if window is not None else dataset.size
-        algorithm = CheckpointedWindowFDM(
-            metric=dataset.metric,
-            constraint=constraint,
-            window=effective_window,
-            blocks=min(blocks, effective_window),
-        )
-        stats = StreamStats()
-        stream_timer = Timer()
-        with stream_timer.measure():
-            for element in dataset.stream(seed=seed):
-                algorithm.process(element)
-                stats.elements_processed += 1
-                stats.record_stored(algorithm.stored_elements)
-        post_timer = Timer()
-        with post_timer.measure():
-            solution = algorithm.solution()
-        stats.stream_seconds = stream_timer.elapsed
-        stats.postprocess_seconds = post_timer.elapsed
-        return RunResult(
-            algorithm="WindowFDM",
-            solution=solution,
-            stats=stats,
-            params={
-                "k": constraint.total_size,
-                "window": effective_window,
-                "blocks": blocks,
-            },
-        )
-
-    return AlgorithmSpec(name="WindowFDM", runner=_run, streaming=True)
+    return algorithm_spec("WindowFDM", window=window, blocks=blocks)
 
 
 def extended_algorithms(

@@ -14,7 +14,7 @@ from repro.baselines.gmm import gmm_elements
 from repro.core.solution import diversity_of
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric
-from repro.streaming.element import Element
+from repro.data.element import Element
 
 
 def diversity(elements: Sequence[Element], metric: Metric) -> float:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InfeasibleConstraintError, InvalidParameterError
 from repro.utils.validation import require_positive_int
 

@@ -6,7 +6,7 @@ from typing import Callable, Dict, Hashable, Iterable, Mapping
 
 from repro.matroids.base import Matroid
 from repro.fairness.constraints import FairnessConstraint
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 
 

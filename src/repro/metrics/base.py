@@ -2,7 +2,7 @@
 
 A *metric* in this library is any object with a ``distance(x, y) -> float``
 method where ``x`` and ``y`` are the ``vector`` payloads carried by
-:class:`repro.streaming.element.Element` (usually one-dimensional numpy
+:class:`repro.data.element.Element` (usually one-dimensional numpy
 arrays, but a metric implementation may accept any hashable / array-like
 payload it understands).
 

@@ -14,7 +14,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.metrics.base import Metric, stack_vectors
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 from repro.utils.rng import ensure_rng
 

@@ -46,7 +46,7 @@ from repro.parallel.backends import Backend, resolve_backend
 from repro.parallel.merge import merge_tree
 from repro.parallel.planner import ShardPlanner
 from repro.parallel.summarize import ShardSummarizer, resolve_summarizer
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stats import StreamStats
 from repro.utils.rng import derive_seed
 from repro.utils.timer import Timer

@@ -22,7 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.coreset import gmm_coreset
 from repro.metrics.base import Metric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.validation import require_positive_int
 
 

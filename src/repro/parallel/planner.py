@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.core.coreset import partition_elements
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import EmptyStreamError, InvalidParameterError
 from repro.utils.validation import require_positive_int
 

@@ -36,7 +36,7 @@ from repro.core.coreset import gmm_coreset
 from repro.core.guesses import GuessLadder
 from repro.metrics.base import Metric
 from repro.metrics.space import exact_distance_bounds
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stream import iter_batches
 from repro.utils.errors import InvalidParameterError
 from repro.utils.validation import require_in_open_interval, require_positive_int

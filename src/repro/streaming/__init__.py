@@ -1,9 +1,8 @@
 """Streaming substrate: elements, one-pass data streams, and accounting."""
 
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stream import DataStream, iter_batches, stream_from_arrays
 from repro.streaming.stats import StreamStats
-from repro.streaming.window import CheckpointedWindowFDM, SlidingWindowStream
 
 __all__ = [
     "Element",
@@ -14,3 +13,18 @@ __all__ = [
     "SlidingWindowStream",
     "CheckpointedWindowFDM",
 ]
+
+#: The window module sits *above* the core algorithms in the layering (it
+#: reuses the coreset and greedy-fill machinery), so importing it eagerly
+#: here would close a cycle through ``repro.core`` — the names are served
+#: lazily instead (PEP 562) and every historical import keeps working.
+_WINDOW_EXPORTS = ("SlidingWindowStream", "CheckpointedWindowFDM")
+
+
+def __getattr__(name):
+    """Resolve the window-layer exports on first access."""
+    if name in _WINDOW_EXPORTS:
+        from repro.streaming import window
+
+        return getattr(window, name)
+    raise AttributeError(f"module 'repro.streaming' has no attribute {name!r}")

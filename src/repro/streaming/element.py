@@ -1,13 +1,29 @@
-"""Compatibility re-export: :class:`Element` now lives in the data layer.
+"""Deprecated alias of :mod:`repro.data.element`.
 
-The element value object moved to :mod:`repro.data.element` when the
-columnar :class:`~repro.data.store.ElementStore` was introduced — the store
-is the canonical representation and elements are its thin views, so the
-definition belongs next to the store (and below the ``streaming`` package
-in the import layering).  Every historical import path keeps working
-through this module.
+The element value object moved to the data layer when the columnar
+:class:`~repro.data.store.ElementStore` was introduced — the store is the
+canonical representation and elements are its thin views, so the definition
+lives next to the store.  Importing :class:`Element` from this module still
+works but emits a :class:`DeprecationWarning`; new code should use::
+
+    from repro.data import Element
 """
 
-from repro.data.element import Element
+import warnings
+
+from repro.data.element import Element as _Element
 
 __all__ = ["Element"]
+
+
+def __getattr__(name):
+    """Serve the legacy ``Element`` name with a deprecation warning (PEP 562)."""
+    if name == "Element":
+        warnings.warn(
+            "importing Element from repro.streaming.element is deprecated; "
+            "use `from repro.data import Element` instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _Element
+    raise AttributeError(f"module 'repro.streaming.element' has no attribute {name!r}")

@@ -19,7 +19,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.store import ElementStore
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import EmptyStreamError, InvalidParameterError
 from repro.utils.rng import ensure_rng
 

@@ -29,7 +29,7 @@ from repro.core.postprocess import greedy_fair_fill
 from repro.core.solution import FairSolution
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 from repro.utils.validation import require_positive_int
 

@@ -8,7 +8,7 @@ import pytest
 from repro.datasets.synthetic import synthetic_blobs, uniform_points
 from repro.fairness.constraints import equal_representation
 from repro.metrics.vector import EuclideanMetric, ManhattanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stream import DataStream
 
 

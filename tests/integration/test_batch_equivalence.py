@@ -20,7 +20,7 @@ from repro.datasets.synthetic import synthetic_blobs
 from repro.fairness.constraints import equal_representation
 from repro.metrics.base import CallableMetric
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 
 

@@ -1,0 +1,187 @@
+"""Integration tests for long-lived streaming sessions."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.sfdm2 import SFDM2
+from repro.utils.errors import (
+    EmptyStreamError,
+    InvalidParameterError,
+    NoFeasibleSolutionError,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return repro.synthetic_blobs(n=300, m=2, seed=21)
+
+
+@pytest.fixture(scope="module")
+def constraint(dataset):
+    return repro.equal_representation(6, list(dataset.group_sizes().keys()))
+
+
+def _open(dataset, constraint, **kwargs):
+    return repro.open_session(
+        constraint=constraint, metric=dataset.metric, algorithm="SFDM2", **kwargs
+    )
+
+
+class TestStreamingSession:
+    def test_matches_one_shot_run(self, dataset, constraint):
+        direct = SFDM2(metric=dataset.metric, constraint=constraint).run(
+            dataset.stream(seed=4)
+        )
+        session = _open(dataset, constraint)
+        for element in dataset.stream(seed=4):
+            session.offer(element)
+        result = session.solution()
+        assert [e.uid for e in result.solution.elements] == [
+            e.uid for e in direct.solution.elements
+        ]
+        assert result.diversity == direct.diversity
+        assert (
+            result.stats.total_distance_computations
+            == direct.stats.total_distance_computations
+        )
+
+    def test_queries_are_side_effect_free(self, dataset, constraint):
+        queried = _open(dataset, constraint)
+        silent = _open(dataset, constraint)
+        for position, element in enumerate(dataset.stream(seed=9)):
+            queried.offer(element)
+            silent.offer(element)
+            if position in (40, 150):
+                queried.solution()  # mid-stream queries must not change anything
+        a, b = queried.solution(), silent.solution()
+        assert [e.uid for e in a.solution.elements] == [e.uid for e in b.solution.elements]
+        assert (
+            a.stats.total_distance_computations == b.stats.total_distance_computations
+        )
+
+    def test_repeated_final_queries_agree(self, dataset, constraint):
+        session = _open(dataset, constraint)
+        session.offer_batch(dataset.stream(seed=2))
+        first, second = session.solution(), session.solution()
+        assert [e.uid for e in first.solution.elements] == [
+            e.uid for e in second.solution.elements
+        ]
+        assert (
+            first.stats.total_distance_computations
+            == second.stats.total_distance_computations
+        )
+
+    def test_query_during_warmup(self, dataset, constraint):
+        session = _open(dataset, constraint)
+        for element in list(dataset.stream(seed=1))[:30]:  # below warmup_size
+            session.offer(element)
+        assert not session.is_active
+        result = session.solution()
+        assert result.succeeded
+        assert not session.is_active  # the query did not seal the warmup
+
+    def test_offer_rows(self, constraint):
+        rng = np.random.default_rng(3)
+        session = repro.open_session(constraint=constraint, algorithm="SFDM2")
+        session.offer_rows(
+            rng.normal(size=(200, 3)), groups=rng.integers(0, 2, size=200)
+        )
+        assert session.elements_offered == 200
+        assert session.solution().solution.is_fair
+
+    def test_empty_session_raises(self, dataset, constraint):
+        with pytest.raises(EmptyStreamError):
+            _open(dataset, constraint).solution()
+
+    def test_infeasible_state_raises(self, constraint):
+        session = repro.open_session(constraint=constraint, algorithm="SFDM2")
+        session.offer_rows(np.eye(3), groups=[0, 0, 0])  # group 1 never arrives
+        with pytest.raises(NoFeasibleSolutionError):
+            session.solution()
+
+    def test_unconstrained_session(self):
+        session = repro.open_session(k=4, algorithm="StreamingDM")
+        session.offer_rows(np.random.default_rng(0).normal(size=(50, 2)))
+        result = session.solution()
+        assert result.algorithm == "StreamingDM"
+        assert result.solution.size == 4
+
+    def test_unconstrained_session_infers_k_from_constraint(self, constraint):
+        # an explicit constraint supplies k even when the algorithm itself
+        # is unconstrained, mirroring solve()
+        session = repro.open_session(constraint=constraint, algorithm="StreamingDM")
+        session.offer_rows(np.random.default_rng(1).normal(size=(60, 2)))
+        assert session.solution().solution.size == constraint.total_size
+
+    def test_session_spec_with_data_prefeeds(self, dataset, constraint):
+        spec = repro.SolveSpec(
+            data=dataset, constraint=constraint, algorithm="SFDM2", seed=4
+        )
+        session = repro.open_session(spec)
+        assert session.elements_offered == dataset.size
+        direct = SFDM2(metric=dataset.metric, constraint=constraint).run(
+            dataset.stream(seed=4)
+        )
+        result = session.solution()
+        assert [e.uid for e in result.solution.elements] == [
+            e.uid for e in direct.solution.elements
+        ]
+
+
+class TestWindowSession:
+    def test_window_session_tracks_window(self, dataset, constraint):
+        session = repro.open_session(
+            constraint=constraint,
+            metric=dataset.metric,
+            algorithm="WindowFDM",
+            window=120,
+            blocks=4,
+        )
+        for element in dataset.stream(seed=6):
+            session.offer(element)
+        result = session.solution()
+        assert result.algorithm == "WindowFDM"
+        assert result.succeeded and result.solution.is_fair
+        assert result.stats.peak_stored_elements < dataset.size
+
+    def test_window_session_requires_window(self, dataset, constraint):
+        with pytest.raises(InvalidParameterError, match="window"):
+            repro.open_session(
+                constraint=constraint, metric=dataset.metric, algorithm="WindowFDM"
+            )
+
+
+class TestOpenSessionValidation:
+    def test_non_session_algorithm_rejected(self, constraint):
+        with pytest.raises(InvalidParameterError, match="does not support sessions"):
+            repro.open_session(constraint=constraint, algorithm="GMM")
+
+    def test_needs_constraint_or_groups(self):
+        with pytest.raises(InvalidParameterError, match="groups"):
+            repro.open_session(k=6, algorithm="SFDM2")
+
+    def test_groups_build_equal_constraint(self):
+        session = repro.open_session(k=6, groups=[0, 1], algorithm="SFDM2")
+        rng = np.random.default_rng(8)
+        session.offer_rows(rng.normal(size=(120, 2)), groups=rng.integers(0, 2, 120))
+        assert session.solution().solution.is_fair
+
+    def test_proportional_without_data_rejected(self):
+        with pytest.raises(InvalidParameterError, match="proportional"):
+            repro.open_session(
+                k=6, groups=[0, 1], algorithm="SFDM2", fairness="proportional"
+            )
+
+    def test_resume_rejects_non_checkpoints(self, tmp_path):
+        bad = tmp_path / "not-a-checkpoint.pkl"
+        import pickle
+
+        bad.write_bytes(pickle.dumps({"hello": "world"}))
+        with pytest.raises(InvalidParameterError, match="checkpoint"):
+            repro.resume(bad)
+
+    def test_offer_rows_shape_validation(self, constraint):
+        session = repro.open_session(constraint=constraint, algorithm="SFDM2")
+        with pytest.raises(InvalidParameterError, match="group labels"):
+            session.offer_rows(np.eye(3), groups=[0, 1])

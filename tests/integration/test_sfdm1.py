@@ -9,7 +9,7 @@ from repro.datasets.surrogates import adult_surrogate
 from repro.datasets.synthetic import synthetic_blobs
 from repro.fairness.constraints import FairnessConstraint, equal_representation, proportional_representation
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stream import DataStream
 from repro.utils.errors import InvalidParameterError
 

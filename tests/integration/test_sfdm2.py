@@ -10,7 +10,7 @@ from repro.datasets.surrogates import lyrics_surrogate
 from repro.datasets.synthetic import synthetic_blobs
 from repro.fairness.constraints import FairnessConstraint, equal_representation
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stream import DataStream
 
 

@@ -1,0 +1,134 @@
+"""Integration tests for the ``repro.solve`` façade and its data resolution."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data.element import Element
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return repro.synthetic_blobs(n=240, m=2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(180, 3)), rng.integers(0, 3, size=180)
+
+
+class TestDataShapes:
+    def test_dataset_spec(self, dataset):
+        result = repro.solve(dataset, k=6, algorithm="SFDM2", seed=1)
+        assert result.succeeded and result.solution.is_fair
+
+    def test_arrays_with_groups(self, arrays):
+        features, groups = arrays
+        result = repro.solve(features, k=6, groups=groups, algorithm="SFDM2")
+        assert result.succeeded
+        assert result.solution.is_fair
+
+    def test_element_store(self, arrays):
+        features, groups = arrays
+        store = repro.ElementStore(features, np.asarray(groups, dtype=np.int64))
+        result = repro.solve(store, k=6, algorithm="FairFlow")
+        assert result.succeeded
+
+    def test_data_stream(self, arrays):
+        features, groups = arrays
+        stream = repro.stream_from_arrays(features, groups, shuffle_seed=3)
+        result = repro.solve(stream, k=6, algorithm="SFDM2")
+        assert result.succeeded
+
+    def test_element_sequence(self):
+        elements = [
+            Element(uid=i, vector=np.array([float(i), float(i % 7)]), group=i % 2)
+            for i in range(60)
+        ]
+        result = repro.solve(elements, k=4, algorithm="SFDM1")
+        assert result.succeeded
+
+    def test_array_without_groups_is_unconstrained(self, arrays):
+        features, _ = arrays
+        result = repro.solve(features, k=5)
+        assert result.algorithm == "StreamingDM"
+
+    def test_rejects_unknown_shapes(self):
+        with pytest.raises(InvalidParameterError, match="accepts"):
+            repro.solve(object(), k=4)
+
+    def test_rejects_missing_data(self):
+        with pytest.raises(InvalidParameterError, match="needs data"):
+            repro.solve(k=4)
+
+
+class TestAutoSelection:
+    def test_two_groups_pick_sfdm1(self, dataset):
+        result = repro.solve(dataset, k=6, seed=1)
+        assert result.algorithm == "SFDM1"
+
+    def test_many_groups_pick_sfdm2(self):
+        dataset = repro.synthetic_blobs(n=240, m=4, seed=6)
+        result = repro.solve(dataset, k=8, seed=1)
+        assert result.algorithm == "SFDM2"
+
+    def test_explicit_constraint_drives_auto(self, arrays):
+        features, groups = arrays
+        constraint = repro.equal_representation(6, [0, 1, 2])
+        result = repro.solve(features, groups=groups, constraint=constraint)
+        assert result.algorithm == "SFDM2"
+
+
+class TestConfiguration:
+    def test_solve_spec_object(self, dataset):
+        spec = repro.SolveSpec(data=dataset, k=6, algorithm="SFDM2", seed=2)
+        result = repro.solve(spec)
+        assert result.succeeded
+
+    def test_spec_plus_kwargs_rejected(self, dataset):
+        with pytest.raises(InvalidParameterError, match="not both"):
+            repro.solve(repro.SolveSpec(data=dataset, k=6), k=8)
+
+    def test_metric_by_name(self, arrays):
+        features, groups = arrays
+        result = repro.solve(
+            features, k=6, groups=groups, algorithm="SFDM2", metric="manhattan"
+        )
+        assert result.succeeded
+
+    def test_unknown_metric_rejected(self, arrays):
+        features, groups = arrays
+        with pytest.raises(InvalidParameterError, match="unknown metric"):
+            repro.solve(features, k=6, groups=groups, metric="warp")
+
+    def test_proportional_fairness(self, dataset):
+        result = repro.solve(dataset, k=8, fairness="proportional", seed=1)
+        assert result.succeeded
+
+    def test_bad_fairness_rejected(self, dataset):
+        with pytest.raises(InvalidParameterError, match="fairness"):
+            repro.solve(dataset, k=6, fairness="strict")
+
+    def test_missing_k_rejected(self, dataset):
+        with pytest.raises(InvalidParameterError, match="needs k"):
+            repro.solve(dataset, algorithm="SFDM2")
+
+    def test_conflicting_k_and_constraint_rejected(self, dataset):
+        constraint = repro.equal_representation(6, [0, 1])
+        with pytest.raises(InvalidParameterError, match="conflicts"):
+            repro.solve(dataset, k=8, constraint=constraint)
+
+    def test_unknown_option_rejected_eagerly(self, dataset):
+        with pytest.raises(InvalidParameterError, match="does not accept"):
+            repro.solve(dataset, k=6, algorithm="SFDM2", shards=4)
+
+    def test_unknown_algorithm_rejected(self, dataset):
+        with pytest.raises(InvalidParameterError, match="unknown algorithm"):
+            repro.solve(dataset, k=6, algorithm="Magic")
+
+    def test_group_limit_enforced(self):
+        dataset = repro.synthetic_blobs(n=240, m=4, seed=6)
+        with pytest.raises(InvalidParameterError, match="m=4"):
+            repro.solve(dataset, k=8, algorithm="SFDM1")

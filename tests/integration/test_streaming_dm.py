@@ -7,7 +7,7 @@ from repro.baselines.exact import exact_dm
 from repro.core.streaming_dm import StreamingDiversityMaximization
 from repro.datasets.synthetic import synthetic_blobs
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stream import DataStream
 from repro.utils.errors import NoFeasibleSolutionError
 

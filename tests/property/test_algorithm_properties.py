@@ -20,7 +20,7 @@ from repro.core.sfdm2 import SFDM2
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.space import exact_distance_bounds
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stream import DataStream
 
 METRIC = EuclideanMetric()

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.core.candidate import Candidate
 from repro.core.postprocess import cluster_elements
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 
 METRIC = EuclideanMetric()
 

@@ -20,7 +20,7 @@ from repro.core.postprocess import balance_by_swapping, greedy_fair_fill
 from repro.core.solution import diversity_of
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 
 METRIC = EuclideanMetric()
 

@@ -1,0 +1,174 @@
+"""Unit tests for the pluggable algorithm registry."""
+
+import pytest
+
+from repro.api.registry import (
+    Capabilities,
+    algorithm_names,
+    algorithms,
+    get_algorithm,
+    has_algorithm,
+    query,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.utils.errors import InvalidParameterError
+
+BUILTIN_NAMES = {
+    "StreamingDM",
+    "SFDM1",
+    "SFDM2",
+    "GMM",
+    "FairSwap",
+    "FairFlow",
+    "FairGMM",
+    "Coreset",
+    "WindowFDM",
+    "ParallelFDM",
+}
+
+
+class TestBuiltinCatalogue:
+    def test_every_builtin_registered(self):
+        assert BUILTIN_NAMES.issubset(set(algorithm_names()))
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_algorithm("sfdm2").name == "SFDM2"
+        assert get_algorithm("SFDM2").name == "SFDM2"
+        assert get_algorithm("parallelfdm").name == "ParallelFDM"
+
+    def test_aliases_resolve(self):
+        assert get_algorithm("parallel").name == "ParallelFDM"
+        assert get_algorithm("window").name == "WindowFDM"
+        assert get_algorithm("algorithm1").name == "StreamingDM"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(InvalidParameterError, match="SFDM2"):
+            get_algorithm("Magic")
+
+    def test_has_algorithm(self):
+        assert has_algorithm("sfdm1")
+        assert not has_algorithm("Magic")
+
+    def test_declared_capabilities(self):
+        assert get_algorithm("SFDM1").capabilities.max_groups == 2
+        assert get_algorithm("FairSwap").capabilities.max_groups == 2
+        assert get_algorithm("FairGMM").capabilities.max_groups == 5
+        assert get_algorithm("SFDM2").capabilities.max_groups is None
+        assert get_algorithm("SFDM2").capabilities.sessions
+        assert get_algorithm("SFDM2").capabilities.batch
+        assert not get_algorithm("GMM").capabilities.constrained
+        assert not get_algorithm("GMM").capabilities.streaming
+        assert get_algorithm("ParallelFDM").capabilities.parallel
+        assert get_algorithm("WindowFDM").capabilities.sessions
+
+    def test_algorithms_snapshot(self):
+        infos = {info.name: info for info in algorithms()}
+        assert BUILTIN_NAMES.issubset(infos)
+        assert infos["SFDM2"].kind == "streaming"
+        assert infos["Coreset"].kind == "coreset"
+        assert infos["SFDM2"].description
+
+    def test_query_filters(self):
+        streaming = {entry.name for entry in query(kind="streaming")}
+        assert streaming == {"StreamingDM", "SFDM1", "SFDM2"}
+        sessions = {entry.name for entry in query(sessions=True)}
+        assert sessions == {"StreamingDM", "SFDM1", "SFDM2", "WindowFDM"}
+        many_groups = {entry.name for entry in query(num_groups=5)}
+        assert "SFDM1" not in many_groups and "FairSwap" not in many_groups
+        assert "SFDM2" in many_groups
+
+
+class TestOptionValidation:
+    def test_unknown_option_rejected(self):
+        with pytest.raises(InvalidParameterError, match="does not accept"):
+            get_algorithm("SFDM2").validate_options({"shards": 4})
+
+    def test_none_options_are_dropped(self):
+        assert get_algorithm("SFDM2").validate_options({"batch_size": None}) == {}
+
+    def test_value_validators_run_eagerly(self):
+        with pytest.raises(InvalidParameterError):
+            get_algorithm("SFDM2").validate_options({"batch_size": 0})
+        with pytest.raises(InvalidParameterError):
+            get_algorithm("ParallelFDM").validate_options({"backend": "gpu"})
+        with pytest.raises(InvalidParameterError):
+            get_algorithm("WindowFDM").validate_options({"window": 0})
+
+
+class TestPluginRegistration:
+    def test_register_and_unregister(self):
+        @register_algorithm(
+            "TestPlugin",
+            kind="offline",
+            aliases=("test-plugin",),
+            streaming=False,
+            constrained=False,
+        )
+        def _runner(context):
+            """A do-nothing plugin."""
+            return None
+
+        try:
+            entry = get_algorithm("test-plugin")
+            assert entry.name == "TestPlugin"
+            assert entry.description == "A do-nothing plugin."
+        finally:
+            unregister_algorithm("TestPlugin")
+        assert not has_algorithm("TestPlugin")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(InvalidParameterError, match="already registered"):
+
+            @register_algorithm("SFDM2", kind="streaming", streaming=True)
+            def _shadow(context):
+                return None
+
+    def test_replace_shadows_and_restores(self):
+        original = get_algorithm("GMM")
+
+        @register_algorithm(
+            "GMM",
+            kind="offline",
+            aliases=("gmm",),
+            streaming=False,
+            constrained=False,
+            replace=True,
+        )
+        def _shadow(context):
+            return "shadowed"
+
+        try:
+            assert get_algorithm("GMM").run(None) == "shadowed"
+        finally:
+            from repro.api.registry import _register
+
+            _register(original, replace=True)
+        assert get_algorithm("GMM") is original
+
+    def test_replace_cannot_hijack_another_entry_name(self):
+        # replace=True shadows the *same* name only; colliding with a
+        # different entry's name or alias must still fail loudly.
+        with pytest.raises(InvalidParameterError, match="already registered"):
+
+            @register_algorithm(
+                "Hijacker",
+                kind="offline",
+                aliases=("sfdm2",),
+                streaming=False,
+                replace=True,
+            )
+            def _hijack(context):
+                return None
+
+        assert get_algorithm("sfdm2").name == "SFDM2"
+        assert not has_algorithm("Hijacker")
+
+    def test_capabilities_object_and_kwargs_conflict(self):
+        with pytest.raises(InvalidParameterError, match="not both"):
+            register_algorithm(
+                "Conflicting",
+                kind="offline",
+                capabilities=Capabilities(kind="offline", streaming=False),
+                streaming=False,
+            )

@@ -12,7 +12,7 @@ from repro.baselines.max_sum import max_sum_greedy
 from repro.core.solution import diversity_of
 from repro.fairness.constraints import FairnessConstraint, equal_representation
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InfeasibleConstraintError, InvalidParameterError
 
 

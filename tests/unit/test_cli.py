@@ -207,3 +207,47 @@ class TestMain:
         )
         assert code == 0
         assert "proportional" in capsys.readouterr().out
+
+
+class TestAlgorithmListing:
+    def test_list_algorithms_flag_prints_catalogue_and_exits(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--list-algorithms"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        for name in ("SFDM1", "SFDM2", "GMM", "ParallelFDM", "WindowFDM"):
+            assert name in output
+        assert "sessions" in output and "kind" in output
+
+    def test_algorithms_subcommand(self, capsys):
+        assert main(["algorithms"]) == 0
+        output = capsys.readouterr().out
+        assert "StreamingDM" in output and "capabilities" in output
+
+    def test_choices_come_from_registry(self):
+        from repro.api.registry import algorithm_names
+
+        args = build_parser().parse_args(
+            ["run", "--dataset", "adult-sex", "--algorithm", "StreamingDM"]
+        )
+        assert args.algorithm == "StreamingDM"
+        assert set(algorithm_names()) >= {"StreamingDM", "SFDM2", "ParallelFDM"}
+
+    def test_run_streaming_dm(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "synthetic-m2",
+                "--algorithm",
+                "StreamingDM",
+                "-k",
+                "5",
+                "--n",
+                "150",
+            ]
+        )
+        assert code == 0
+        assert "StreamingDM" in capsys.readouterr().out

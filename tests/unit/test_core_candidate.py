@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.candidate import Candidate
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 
 
 def _element(uid, x, group=0):

@@ -12,7 +12,7 @@ from repro.core.postprocess import (
 from repro.core.solution import diversity_of
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 
 
 def _element(uid, x, group=0):

@@ -7,7 +7,7 @@ from repro.core.result import RunResult
 from repro.core.solution import FairSolution, Solution, diversity_of
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stats import StreamStats
 
 

@@ -13,7 +13,7 @@ from repro.core.solution import diversity_of
 from repro.baselines.exact import exact_fdm
 from repro.fairness.constraints import FairnessConstraint, equal_representation
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 
 METRIC = EuclideanMetric()

@@ -7,7 +7,7 @@ import pytest
 
 from repro.data.store import ElementStore, store_rows_of
 from repro.metrics.vector import EuclideanMetric, _as_batch
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 
 

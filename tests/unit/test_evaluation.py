@@ -21,7 +21,7 @@ from repro.evaluation.measures import (
 from repro.evaluation.reporting import format_table, records_to_rows, write_csv
 from repro.fairness.constraints import FairnessConstraint, equal_representation
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 
 

@@ -10,7 +10,7 @@ from repro.fairness.constraints import (
     equal_representation,
     proportional_representation,
 )
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InfeasibleConstraintError, InvalidParameterError
 
 

@@ -7,7 +7,7 @@ from repro.core.local_search import local_search_improve
 from repro.core.solution import diversity_of
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 
 METRIC = EuclideanMetric()

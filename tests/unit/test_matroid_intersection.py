@@ -14,7 +14,7 @@ from repro.matroids.intersection import (
 )
 from repro.matroids.partition import PartitionMatroid, matroid_from_constraint
 from repro.matroids.uniform import UniformMatroid
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 
 

@@ -8,7 +8,7 @@ from repro.matroids.base import RestrictedMatroid
 from repro.matroids.cluster import ClusterMatroid
 from repro.matroids.partition import PartitionMatroid, matroid_from_constraint
 from repro.matroids.uniform import UniformMatroid
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 
 

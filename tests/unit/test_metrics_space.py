@@ -10,7 +10,7 @@ from repro.metrics.space import (
     pairwise_distances,
 )
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 
 

@@ -16,7 +16,7 @@ from repro.parallel.summarize import (
     StreamShardSummarizer,
     resolve_summarizer,
 )
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.utils.errors import InvalidParameterError
 
 METRIC = EuclideanMetric()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.parallel.planner import STRATEGIES, ShardPlanner
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stream import DataStream
 from repro.utils.errors import EmptyStreamError, InvalidParameterError
 

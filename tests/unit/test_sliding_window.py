@@ -5,7 +5,7 @@ import pytest
 
 from repro.fairness.constraints import equal_representation
 from repro.metrics.vector import EuclideanMetric
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.window import CheckpointedWindowFDM, SlidingWindowStream
 from repro.utils.errors import InvalidParameterError
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.streaming.element import Element
+from repro.data.element import Element
 from repro.streaming.stream import DataStream, iter_batches
 from repro.utils.errors import InvalidParameterError
 
