@@ -4,11 +4,28 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-batch bench-parallel bench-hot perf-gate docs-check api-check api-surface ci
+.PHONY: test test-fast cov golden bench-smoke bench-batch bench-parallel bench-hot bench-window perf-gate docs-check api-check api-surface ci
 
 ## Run the full test suite (tier-1 gate).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Run the test suite without @pytest.mark.slow tests (subprocess-heavy
+## example scripts) — the quick local iteration loop.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+## Line-coverage gate: run the (fast) suite under pytest-cov when
+## installed, or the stdlib settrace fallback otherwise, and fail below
+## the pinned threshold in tools/coverage_gate.py (a ratchet: raise it as
+## coverage improves, never lower it).
+cov:
+	$(PYTHON) tools/coverage_gate.py
+
+## Regenerate the golden-pin file (tests/golden/solutions.json) after an
+## intentional algorithm behaviour change; commit the JSON diff.
+golden:
+	$(PYTHON) tests/integration/test_golden_solutions.py --write
 
 ## Small-scale end-to-end benchmark pass: the batch-throughput and
 ## parallel-scaling benches at a reduced n plus one representative figure
@@ -17,6 +34,7 @@ test:
 bench-smoke:
 	REPRO_BENCH_BATCH_N=5000 $(PYTHON) -m pytest benchmarks/bench_batch_throughput.py -q -s
 	REPRO_BENCH_PARALLEL_N=4000 $(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py -q -s
+	REPRO_BENCH_WINDOW_N=6000 $(PYTHON) -m pytest benchmarks/bench_window.py -q -s
 	REPRO_BENCH_N=500 $(PYTHON) -m pytest benchmarks/bench_fig7_time_vs_k.py -q -s
 
 ## Acceptance-scale batch engine benchmark (SFDM2, n = 50_000, >= 5x).
@@ -35,6 +53,13 @@ bench-parallel:
 ## paths). Refreshes the `hot_paths` section of BENCH_hot_paths.json.
 bench-hot:
 	$(PYTHON) -m pytest benchmarks/bench_hot_paths.py -q -s
+
+## Acceptance-scale windowing benchmark (SlidingWindowFDM vs the
+## checkpointed baseline at n = 30_000: throughput under a per-block query
+## schedule, quality ratio vs offline-on-window, stale-pool counts).
+## Refreshes the `window` section of BENCH_hot_paths.json.
+bench-window:
+	$(PYTHON) -m pytest benchmarks/bench_window.py -q -s
 
 ## Perf-regression gate: fresh smoke run of the hot-path bench compared
 ## against the committed BENCH_hot_paths.json baseline (wall-clock checks
@@ -64,5 +89,6 @@ api-surface:
 	$(PYTHON) tools/check_api_surface.py --write
 
 ## One-command PR gate: tests, docstring completeness, API-surface drift,
-## the smoke-scale benchmark pass, and the perf-regression gate.
-ci: test docs-check api-check bench-smoke perf-gate
+## the line-coverage gate, the smoke-scale benchmark pass, and the
+## perf-regression gate.
+ci: test docs-check api-check cov bench-smoke perf-gate

@@ -1,0 +1,142 @@
+"""Windowing benchmark: incremental vs. checkpointed, quality vs. offline.
+
+This is the acceptance bench for the windowing subsystem.  On one synthetic
+stream (``REPRO_BENCH_WINDOW_N`` elements, default 30 000) it measures, for
+several window lengths ``w``:
+
+1. **Throughput** — elements/second of :class:`SlidingWindowFDM` ingestion
+   under a monitoring workload (one mid-stream query per block), against
+   the :class:`CheckpointedWindowFDM` baseline under the identical query
+   schedule.  The baseline does less work per block (one summary, no
+   recomposition) and is faster — but its pool may contain **expired**
+   elements (the ``stale_pool`` column), which the incremental algorithm
+   excludes exactly, by construction.
+2. **Quality** — the final windowed solution's max-min diversity as a
+   ratio of an offline greedy extraction over the exact last-``w``
+   elements (the same reference the windowing property tests pin).  The
+   ratio must stay within the documented
+   :data:`~repro.windowing.sliding.APPROXIMATION_FACTOR` envelope.
+
+Headline numbers are appended to the shared ``BENCH_hot_paths.json`` under
+the ``window`` (acceptance scale) or ``window_smoke`` section.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.postprocess import greedy_fair_fill
+from repro.core.solution import FairSolution
+from repro.datasets.synthetic import synthetic_blobs
+from repro.fairness.constraints import equal_representation
+from repro.parallel.backends import usable_cpus
+from repro.windowing import APPROXIMATION_FACTOR, CheckpointedWindowFDM, SlidingWindowFDM
+
+from .conftest import BENCH_SEED, print_table, record_bench_section, scaled_csv_name
+from repro.evaluation.reporting import write_csv
+
+#: Acceptance-scale stream length (override with REPRO_BENCH_WINDOW_N).
+WINDOW_N = int(os.environ.get("REPRO_BENCH_WINDOW_N", "30000"))
+#: Canonical acceptance scale (smaller runs write the `window_smoke` section).
+CANONICAL_N = 30000
+
+K = 10
+M = 2
+BLOCKS = 8
+
+COLUMNS = [
+    "algorithm",
+    "window",
+    "n",
+    "queries",
+    "seconds",
+    "elements_per_s",
+    "quality_ratio",
+    "stale_pool",
+]
+
+
+def _run_windowed(algorithm, elements, query_every):
+    """Ingest ``elements`` with a query every ``query_every`` arrivals."""
+    queries = 0
+    started = time.perf_counter()
+    for position, element in enumerate(elements):
+        algorithm.process(element)
+        if (position + 1) % query_every == 0:
+            algorithm.solution()
+            queries += 1
+    elapsed = time.perf_counter() - started
+    return algorithm.solution(), elapsed, queries
+
+
+def _stale_pool_count(algorithm, uid_positions):
+    """How many candidate-pool elements have already expired."""
+    window_start = algorithm.elements_processed - algorithm.window
+    return sum(
+        1 for e in algorithm.candidate_pool() if uid_positions[e.uid] < window_start
+    )
+
+
+def test_window_scaling(results_dir):
+    """Throughput and quality of the windowed algorithms across window lengths."""
+    dataset = synthetic_blobs(n=WINDOW_N, m=M, seed=BENCH_SEED)
+    constraint = equal_representation(K, list(dataset.group_sizes().keys()))
+    elements = list(dataset.stream(seed=BENCH_SEED))
+    uid_positions = {element.uid: position for position, element in enumerate(elements)}
+
+    rows = []
+    headline = {"n": WINDOW_N, "k": K, "blocks": BLOCKS, "cpus": usable_cpus()}
+    for window in (WINDOW_N // 8, WINDOW_N // 4, WINDOW_N // 2):
+        live = elements[-window:]
+        offline = FairSolution(
+            greedy_fair_fill(live, constraint, dataset.metric),
+            dataset.metric,
+            constraint,
+        )
+        assert offline.is_fair
+
+        for name, factory in (
+            ("SlidingWindowFDM", SlidingWindowFDM),
+            ("WindowFDM", CheckpointedWindowFDM),
+        ):
+            algorithm = factory(dataset.metric, constraint, window=window, blocks=BLOCKS)
+            solution, seconds, queries = _run_windowed(
+                algorithm, elements, query_every=window // BLOCKS
+            )
+            assert solution is not None and solution.is_fair
+            ratio = solution.diversity / offline.diversity
+            stale = _stale_pool_count(algorithm, uid_positions)
+            if name == "SlidingWindowFDM":
+                assert ratio >= 1.0 / APPROXIMATION_FACTOR
+                assert stale == 0, "the incremental pool must be expiry-free"
+                headline[f"sliding_w{window}_elements_per_s"] = round(
+                    WINDOW_N / seconds, 1
+                )
+                headline[f"sliding_w{window}_quality_ratio"] = round(ratio, 4)
+            else:
+                headline[f"baseline_w{window}_elements_per_s"] = round(
+                    WINDOW_N / seconds, 1
+                )
+                headline[f"baseline_w{window}_stale_pool"] = stale
+            rows.append(
+                {
+                    "algorithm": name,
+                    "window": window,
+                    "n": WINDOW_N,
+                    "queries": queries,
+                    "seconds": round(seconds, 3),
+                    "elements_per_s": round(WINDOW_N / seconds, 1),
+                    "quality_ratio": round(ratio, 4),
+                    "stale_pool": stale,
+                }
+            )
+
+    print_table(rows, COLUMNS, f"windowed fair diversity at n={WINDOW_N}")
+    write_csv(
+        rows,
+        results_dir / scaled_csv_name("bench_window", WINDOW_N, CANONICAL_N),
+        columns=COLUMNS,
+    )
+    section = "window" if WINDOW_N >= CANONICAL_N else "window_smoke"
+    record_bench_section(section, headline)

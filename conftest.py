@@ -2,7 +2,7 @@
 
 Makes the ``src`` layout importable even when the package has not been
 installed (useful in offline environments where ``pip install -e .`` cannot
-fetch build dependencies).
+fetch build dependencies), and registers the repository's test markers.
 """
 
 import sys
@@ -11,3 +11,11 @@ from pathlib import Path
 SRC = Path(__file__).parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+def pytest_configure(config):
+    """Register the repository's custom markers."""
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running test (excluded by `make test-fast` and the coverage gate)",
+    )

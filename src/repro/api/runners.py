@@ -30,9 +30,10 @@ from repro.parallel.backends import resolve_backend
 from repro.parallel.driver import ParallelFDM
 from repro.parallel.planner import ShardPlanner
 from repro.parallel.summarize import resolve_summarizer
+from repro.metrics.cached import CountingMetric
 from repro.streaming.stats import StreamStats
-from repro.streaming.window import CheckpointedWindowFDM
 from repro.utils.errors import InvalidParameterError
+from repro.windowing import CheckpointedWindowFDM, SlidingWindowFDM
 from repro.utils.timer import Timer
 from repro.utils.validation import require_positive_int
 
@@ -260,27 +261,83 @@ def _validate_window(options: Mapping[str, Any]) -> None:
         require_positive_int(options["blocks"], "blocks")
 
 
-def _make_window(context: RunContext, window: Optional[int]) -> CheckpointedWindowFDM:
-    """A CheckpointedWindowFDM configured from the context's options."""
+def _make_windowed(
+    context: RunContext,
+    factory: Any,
+    window: Optional[int],
+    metric: Optional[Any] = None,
+):
+    """A windowed algorithm (``factory``) configured from the context's options.
+
+    ``metric`` overrides the context's metric — the one-shot runner passes
+    a counting wrapper so the run's distance accounting is reported.
+    """
     if window is None:
         raise InvalidParameterError(
-            "WindowFDM needs a window length; pass window= (sessions) or "
-            "provide sized data (runs default to window = dataset size)"
+            f"{factory.name} needs a window length; pass window= (sessions) or "
+            f"provide sized data (runs default to window = dataset size)"
         )
-    blocks = context.option("blocks", 8)
-    return CheckpointedWindowFDM(
-        metric=context.metric,
+    blocks = min(context.option("blocks", 8), window)
+    return factory(
+        metric=context.metric if metric is None else metric,
         constraint=context.require_constraint(),
         window=window,
-        blocks=min(blocks, window),
+        blocks=blocks,
     )
 
 
-def _window_session(context: RunContext):
-    """Session factory for the checkpointed sliding-window algorithm."""
-    from repro.api.session import WindowSession
+def _windowed_session(factory):
+    """A session factory wrapping ``factory``'s algorithm in a WindowSession.
 
-    return WindowSession(_make_window(context, context.option("window", context.size)))
+    The algorithm gets a counting metric so session queries report real
+    distance accounting, mirroring the one-shot runner.
+    """
+
+    def _factory(context: RunContext):
+        from repro.api.session import WindowSession
+
+        return WindowSession(
+            _make_windowed(
+                context,
+                factory,
+                context.option("window", context.size),
+                metric=CountingMetric(context.metric),
+            )
+        )
+
+    return _factory
+
+
+def _run_windowed(context: RunContext, factory: Any) -> RunResult:
+    """One-pass run of a windowed algorithm with full distance accounting."""
+    effective_window = context.option("window", context.size)
+    counting = CountingMetric(context.metric)
+    algorithm = _make_windowed(context, factory, effective_window, metric=counting)
+    stats = StreamStats()
+    stream_timer = Timer()
+    with stream_timer.measure():
+        for element in context.stream():
+            algorithm.process(element)
+            stats.elements_processed += 1
+            stats.record_stored(algorithm.stored_elements)
+    stream_calls = counting.calls
+    post_timer = Timer()
+    with post_timer.measure():
+        solution = algorithm.solution()
+    stats.stream_seconds = stream_timer.elapsed
+    stats.postprocess_seconds = post_timer.elapsed
+    stats.stream_distance_computations = stream_calls
+    stats.postprocess_distance_computations = counting.calls - stream_calls
+    return RunResult(
+        algorithm=factory.name,
+        solution=solution,
+        stats=stats,
+        params={
+            "k": context.require_constraint().total_size,
+            "window": effective_window,
+            "blocks": algorithm.blocks,
+        },
+    )
 
 
 @register_algorithm(
@@ -292,34 +349,27 @@ def _window_session(context: RunContext):
     sessions=True,
     options=("window", "blocks"),
     validator=_validate_window,
-    session_factory=_window_session,
+    session_factory=_windowed_session(CheckpointedWindowFDM),
 )
 def _run_window(context: RunContext) -> RunResult:
-    """One-pass run of the windowed algorithm with harness-style accounting."""
-    effective_window = context.option("window", context.size)
-    algorithm = _make_window(context, effective_window)
-    stats = StreamStats()
-    stream_timer = Timer()
-    with stream_timer.measure():
-        for element in context.stream():
-            algorithm.process(element)
-            stats.elements_processed += 1
-            stats.record_stored(algorithm.stored_elements)
-    post_timer = Timer()
-    with post_timer.measure():
-        solution = algorithm.solution()
-    stats.stream_seconds = stream_timer.elapsed
-    stats.postprocess_seconds = post_timer.elapsed
-    return RunResult(
-        algorithm="WindowFDM",
-        solution=solution,
-        stats=stats,
-        params={
-            "k": context.require_constraint().total_size,
-            "window": effective_window,
-            "blocks": context.option("blocks", 8),
-        },
-    )
+    """Run the checkpointed windowed baseline on the context's stream."""
+    return _run_windowed(context, CheckpointedWindowFDM)
+
+
+@register_algorithm(
+    "SlidingWindowFDM",
+    kind="window",
+    aliases=("sliding-window", "sliding_window"),
+    description="Incremental sliding-window fair DM via retiring per-block coresets",
+    streaming=True,
+    sessions=True,
+    options=("window", "blocks"),
+    validator=_validate_window,
+    session_factory=_windowed_session(SlidingWindowFDM),
+)
+def _run_sliding_window(context: RunContext) -> RunResult:
+    """Run the incremental sliding-window algorithm on the context's stream."""
+    return _run_windowed(context, SlidingWindowFDM)
 
 
 def _validate_parallel(options: Mapping[str, Any]) -> None:

@@ -19,9 +19,9 @@ the same candidate state the one-shot run builds:
 * :meth:`~SessionBase.checkpoint` snapshots the live state to disk and
   :func:`resume` restores it — ``checkpoint -> resume -> continue`` yields
   byte-identical solutions and equal distance counts versus never stopping,
-  which generalises :class:`~repro.streaming.window.CheckpointedWindowFDM`'s
-  block-snapshot idea (itself wrapped by :class:`WindowSession`) to the
-  whole streaming family.
+  which generalises the windowing layer's block-snapshot idea (its
+  algorithms are wrapped by :class:`WindowSession`) to the whole streaming
+  family.
 
 Sessions are created through :func:`repro.open_session`, which resolves the
 algorithm from the registry and rejects entries without the ``sessions``
@@ -42,9 +42,9 @@ import numpy as np
 from repro.core.base import StreamingAlgorithm
 from repro.core.result import RunResult
 from repro.data.element import Element
+from repro.metrics.cached import CountingMetric
 from repro.metrics.space import exact_distance_bounds
 from repro.streaming.stats import StreamStats
-from repro.streaming.window import CheckpointedWindowFDM
 from repro.utils.errors import (
     EmptyStreamError,
     InvalidParameterError,
@@ -402,24 +402,53 @@ class StreamingSession(SessionBase):
 
 
 class WindowSession(SessionBase):
-    """Session wrapper around :class:`CheckpointedWindowFDM`.
+    """Session wrapper around a windowed algorithm.
 
-    The windowed algorithm is already incremental (``process`` /
-    ``solution``); this wrapper gives it the same surface as
-    :class:`StreamingSession` — ``offer*``, RunResult-producing
+    Drives any algorithm of the windowing layer — the incremental
+    :class:`~repro.windowing.sliding.SlidingWindowFDM` or the
+    block-summary baseline
+    :class:`~repro.windowing.checkpointed.CheckpointedWindowFDM` — which
+    are already incremental (``process`` / ``solution``); this wrapper
+    gives them the same surface as :class:`StreamingSession` — ``offer`` /
+    ``offer_batch`` / ``offer_rows``, RunResult-producing
     :meth:`solution`, and checkpoint/resume — so servers can treat every
     session-capable algorithm uniformly.
     """
 
-    def __init__(self, algorithm: CheckpointedWindowFDM) -> None:
+    def __init__(self, algorithm: Any) -> None:
         super().__init__()
+        required_attrs = (
+            "process",
+            "solution",
+            "stored_elements",
+            "window",
+            "blocks",
+            "constraint",
+        )
+        for required in required_attrs:
+            if not hasattr(algorithm, required):
+                raise InvalidParameterError(
+                    f"WindowSession drives windowed algorithms exposing "
+                    f"{'/'.join(required_attrs)}; "
+                    f"{type(algorithm).__name__} lacks {required!r}"
+                )
         self._algorithm = algorithm
         self._stats = StreamStats()
+        #: Distance evaluations spent inside queries so far (lets repeated
+        #: queries split stream vs postprocess accounting correctly when
+        #: the algorithm's metric is a counting wrapper).
+        self._query_calls = 0
 
     @property
     def algorithm_name(self) -> str:
         """Name of the wrapped algorithm."""
-        return "WindowFDM"
+        return getattr(self._algorithm, "name", type(self._algorithm).__name__)
+
+    @property
+    def _counting(self):
+        """The algorithm's counting metric, or ``None`` if it has none."""
+        metric = getattr(self._algorithm, "metric", None)
+        return metric if isinstance(metric, CountingMetric) else None
 
     def _offer_many(self, chunk: List[Element]) -> None:
         started = time.perf_counter()
@@ -439,7 +468,11 @@ class WindowSession(SessionBase):
         the one-shot ``WindowFDM`` runner's behaviour.
         """
         if self._offered == 0:
-            raise EmptyStreamError("WindowFDM session received no elements")
+            raise EmptyStreamError(
+                f"{self.algorithm_name} session received no elements"
+            )
+        counting = self._counting
+        calls_before = counting.calls if counting is not None else 0
         timer = Timer()
         with timer.measure():
             solution = self._algorithm.solution()
@@ -447,6 +480,11 @@ class WindowSession(SessionBase):
         stats.extra = dict(self._stats.extra)
         stats.stream_seconds = self._stream_seconds
         stats.postprocess_seconds = timer.elapsed
+        if counting is not None:
+            query_cost = counting.calls - calls_before
+            stats.stream_distance_computations = calls_before - self._query_calls
+            stats.postprocess_distance_computations = query_cost
+            self._query_calls += query_cost
         return RunResult(
             algorithm=self.algorithm_name,
             solution=solution,
@@ -460,6 +498,6 @@ class WindowSession(SessionBase):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"WindowSession(window={self._algorithm.window}, "
+            f"WindowSession({self.algorithm_name}, window={self._algorithm.window}, "
             f"blocks={self._algorithm.blocks}, offered={self._offered})"
         )

@@ -16,6 +16,12 @@ Run the sharded parallel engine over four worker processes::
     python -m repro run --dataset synthetic-m2 --algorithm ParallelFDM -k 20 \
         --n 100000 --shards 4 --backend process
 
+Maintain a fair solution over a sliding window of the most recent 5 000
+elements::
+
+    python -m repro run --dataset synthetic-m2 --algorithm SlidingWindowFDM \
+        -k 20 --n 50000 --window 5000 --blocks 8
+
 Compare every applicable algorithm on a synthetic stream and save a CSV::
 
     python -m repro compare --dataset synthetic-m10 -k 20 --output results.csv
@@ -131,8 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--include-extended",
         action="store_true",
         help=(
-            "also run the extended suite (Coreset, WindowFDM, and ParallelFDM "
-            "with --shards/--backend)"
+            "also run the extended suite (Coreset, WindowFDM, SlidingWindowFDM "
+            "with --window/--blocks, and ParallelFDM with --shards/--backend)"
         ),
     )
     compare_parser.add_argument("--output", help="write the result rows to this CSV file")
@@ -180,6 +186,21 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         choices=tuple(backend_names()),
         default="serial",
         help="execution backend for the ParallelFDM shards (default: serial)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help=(
+            "window length for the windowed algorithms (WindowFDM, "
+            "SlidingWindowFDM); default: the whole stream"
+        ),
+    )
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=8,
+        help="number of blocks the window is divided into (default 8)",
     )
 
 
@@ -231,6 +252,8 @@ def _options_for(args: argparse.Namespace, name: str) -> dict:
         "batch_size": args.batch_size,
         "shards": args.shards,
         "backend": args.backend,
+        "window": args.window,
+        "blocks": args.blocks,
     }
     return {key: value for key, value in flag_values.items() if key in accepted}
 
@@ -250,7 +273,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         include_fair_gmm=args.include_fair_gmm, batch_size=args.batch_size
     )
     if args.include_extended:
-        algorithms += extended_algorithms(shards=args.shards, backend=args.backend)
+        algorithms += extended_algorithms(
+            shards=args.shards,
+            backend=args.backend,
+            window=args.window,
+            blocks=args.blocks,
+        )
     records = run_experiment([config], algorithms=algorithms)
     rows = records_to_rows(records, columns=_COLUMNS)
     print(format_table(rows, columns=_COLUMNS, title=f"comparison on {args.dataset}"))

@@ -17,11 +17,14 @@ an additional baseline in the ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.baselines.gmm import gmm_elements
 from repro.core.postprocess import greedy_fair_fill
 from repro.core.solution import FairSolution
+from repro.data.store import ElementStore
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric
 from repro.data.element import Element
@@ -53,7 +56,7 @@ def partition_elements(
 
 
 def gmm_coreset(
-    elements: Sequence[Element],
+    elements: Union[Sequence[Element], ElementStore],
     metric: Metric,
     k: int,
     per_group: bool = False,
@@ -68,6 +71,12 @@ def gmm_coreset(
 
     Parameters
     ----------
+    elements:
+        The part to summarise — an element sequence or, for the columnar
+        fast path, an :class:`~repro.data.store.ElementStore` (group
+        restriction becomes a vectorized mask and the farthest-point greedy
+        runs on store rows; only the selected elements are materialised,
+        as zero-copy views).
     start_index:
         Seed position for the farthest-point greedy, reduced modulo the
         (group-restricted) pool size so any non-negative value is valid.
@@ -75,15 +84,19 @@ def gmm_coreset(
         per-shard summaries reproducible for a fixed seed while still
         letting experiments vary the GMM seed element.
     """
-    if not elements:
+    if not len(elements):
         return []
     summary: Dict[int, Element] = {}
     for element in gmm_elements(elements, metric, k, start_index=start_index % len(elements)):
         summary.setdefault(element.uid, element)
     if per_group:
-        group_sizes: Dict[int, int] = {}
-        for element in elements:
-            group_sizes[element.group] = group_sizes.get(element.group, 0) + 1
+        if isinstance(elements, ElementStore):
+            values, counts = np.unique(elements.groups, return_counts=True)
+            group_sizes = {int(g): int(c) for g, c in zip(values, counts)}
+        else:
+            group_sizes = {}
+            for element in elements:
+                group_sizes[element.group] = group_sizes.get(element.group, 0) + 1
         for group in sorted(group_sizes):
             for element in gmm_elements(
                 elements,

@@ -155,30 +155,51 @@ def coreset_algorithm(num_parts: int = 4, refine_with_swap: bool = True) -> Algo
     )
 
 
-def window_algorithm(window: Optional[int] = None, blocks: int = 8) -> AlgorithmSpec:
-    """The checkpointed sliding-window algorithm as a harness algorithm.
+def window_algorithm(
+    window: Optional[int] = None, blocks: int = 8, algorithm: str = "WindowFDM"
+) -> AlgorithmSpec:
+    """A windowed algorithm as a harness algorithm.
 
     With the default ``window=None`` the window spans the whole stream (no
     element ever expires), which exercises the block-summary machinery as a
     low-memory one-pass summarizer; pass an explicit window length for the
     genuine sliding-window regime.
+
+    Parameters
+    ----------
+    algorithm:
+        Which windowed implementation to run: the checkpointed baseline
+        (``"WindowFDM"``, default) or the incremental
+        ``"SlidingWindowFDM"``.
     """
-    return algorithm_spec("WindowFDM", window=window, blocks=blocks)
+    return algorithm_spec(algorithm, window=window, blocks=blocks)
+
+
+def sliding_window_algorithm(
+    window: Optional[int] = None, blocks: int = 8
+) -> AlgorithmSpec:
+    """The incremental sliding-window algorithm as a harness algorithm."""
+    return window_algorithm(window=window, blocks=blocks, algorithm="SlidingWindowFDM")
 
 
 def extended_algorithms(
     shards: int = 4,
     backend: str = "serial",
     strategy: str = "stratified",
+    window: Optional[int] = None,
+    blocks: int = 8,
 ) -> List[AlgorithmSpec]:
-    """The algorithms beyond the paper's suite: Coreset, WindowFDM, ParallelFDM.
+    """The algorithms beyond the paper's suite.
 
-    These are kept out of :func:`default_algorithms` so the comparison
-    tables keep the paper's Table II shape unless explicitly extended.
+    Coreset, the two windowed algorithms (checkpointed baseline and
+    incremental sliding), and ParallelFDM.  These are kept out of
+    :func:`default_algorithms` so the comparison tables keep the paper's
+    Table II shape unless explicitly extended.
     """
     return [
         coreset_algorithm(),
-        window_algorithm(),
+        window_algorithm(window=window, blocks=blocks),
+        sliding_window_algorithm(window=window, blocks=blocks),
         parallel_algorithm(shards=shards, backend=backend, strategy=strategy),
     ]
 

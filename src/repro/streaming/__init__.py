@@ -14,17 +14,18 @@ __all__ = [
     "CheckpointedWindowFDM",
 ]
 
-#: The window module sits *above* the core algorithms in the layering (it
+#: The windowing layer sits *above* the core algorithms in the layering (it
 #: reuses the coreset and greedy-fill machinery), so importing it eagerly
 #: here would close a cycle through ``repro.core`` — the names are served
-#: lazily instead (PEP 562) and every historical import keeps working.
+#: lazily instead (PEP 562), straight from their new home in
+#: :mod:`repro.windowing`, and every historical import keeps working.
 _WINDOW_EXPORTS = ("SlidingWindowStream", "CheckpointedWindowFDM")
 
 
 def __getattr__(name):
     """Resolve the window-layer exports on first access."""
     if name in _WINDOW_EXPORTS:
-        from repro.streaming import window
+        from repro import windowing
 
-        return getattr(window, name)
+        return getattr(windowing, name)
     raise AttributeError(f"module 'repro.streaming' has no attribute {name!r}")

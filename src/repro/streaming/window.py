@@ -1,158 +1,32 @@
-"""Sliding-window streams and a checkpoint-based windowed FDM wrapper.
+"""Deprecated alias of :mod:`repro.windowing`.
 
-The paper lists the sliding-window model as future work: maintain a fair,
-diverse subset over only the *most recent* ``w`` elements of an infinite
-stream.  This module provides
+The sliding-window machinery grew into a first-class subsystem — window
+policies, lazy windowed streams, and the incremental
+:class:`~repro.windowing.sliding.SlidingWindowFDM` — and moved to
+:mod:`repro.windowing`.  Importing the historical names from this module
+still works but emits a :class:`DeprecationWarning`; new code should use::
 
-* :class:`SlidingWindowStream` — an iterator adapter that yields
-  ``(element, expired_uids)`` pairs so consumers know which elements left
-  the window at each step, and
-* :class:`CheckpointedWindowFDM` — a simple, correct (though not
-  memory-optimal) windowed algorithm: it partitions the stream into blocks
-  of ``w / blocks`` elements, keeps a per-group GMM summary of every live
-  block, and recomputes a fair solution from the union of the live
-  summaries on demand.  Its memory is ``O(blocks · m · k)`` summaries plus
-  the current partial block, far below the window size for large ``w``.
-
-This is the natural "strawman plus coreset" baseline the future-work
-direction would be evaluated against; it reuses the library's coreset and
-greedy-fill machinery and is fully covered by tests.
+    from repro.windowing import CheckpointedWindowFDM, SlidingWindowStream
 """
 
-from __future__ import annotations
+import warnings
 
-from collections import deque
-from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+__all__ = ["SlidingWindowStream", "CheckpointedWindowFDM"]
 
-from repro.core.coreset import gmm_coreset
-from repro.core.postprocess import greedy_fair_fill
-from repro.core.solution import FairSolution
-from repro.fairness.constraints import FairnessConstraint
-from repro.metrics.base import Metric
-from repro.data.element import Element
-from repro.utils.errors import InvalidParameterError
-from repro.utils.validation import require_positive_int
+#: Names this module served before the move to ``repro.windowing``.
+_MOVED = ("SlidingWindowStream", "CheckpointedWindowFDM")
 
 
-class SlidingWindowStream:
-    """Adapter that augments a stream with sliding-window expiry information.
-
-    Iterating yields ``(element, expired)`` tuples where ``expired`` is the
-    list of elements that just fell out of the length-``window`` suffix.
-    """
-
-    def __init__(self, elements: Iterable[Element], window: int) -> None:
-        self.window = require_positive_int(window, "window")
-        self._elements = list(elements)
-
-    def __iter__(self) -> Iterator[Tuple[Element, List[Element]]]:
-        live: Deque[Element] = deque()
-        for element in self._elements:
-            live.append(element)
-            expired: List[Element] = []
-            while len(live) > self.window:
-                expired.append(live.popleft())
-            yield element, expired
-
-    def __len__(self) -> int:
-        return len(self._elements)
-
-
-class CheckpointedWindowFDM:
-    """Fair diversity maximization over a sliding window via block summaries.
-
-    Parameters
-    ----------
-    metric:
-        Distance metric.
-    constraint:
-        Fairness constraint (quotas per group).
-    window:
-        Window length ``w`` in number of elements.
-    blocks:
-        Number of blocks the window is divided into; more blocks means a
-        fresher summary (stale elements are dropped at block granularity)
-        at the cost of proportionally more stored summaries.
-    """
-
-    def __init__(
-        self,
-        metric: Metric,
-        constraint: FairnessConstraint,
-        window: int,
-        blocks: int = 8,
-    ) -> None:
-        self.metric = metric
-        self.constraint = constraint
-        self.window = require_positive_int(window, "window")
-        self.blocks = require_positive_int(blocks, "blocks")
-        if self.blocks > self.window:
-            raise InvalidParameterError("blocks must not exceed the window length")
-        self._block_size = max(1, self.window // self.blocks)
-        #: Completed blocks, oldest first: (start_index, summary elements).
-        self._summaries: Deque[Tuple[int, List[Element]]] = deque()
-        #: Elements of the block currently being filled.
-        self._current_block: List[Element] = []
-        self._current_start = 0
-        self._position = 0
-
-    # ------------------------------------------------------------------
-    def process(self, element: Element) -> None:
-        """Consume one stream element."""
-        if not self._current_block:
-            self._current_start = self._position
-        self._current_block.append(element)
-        self._position += 1
-        if len(self._current_block) >= self._block_size:
-            self._seal_current_block()
-        self._evict_expired_blocks()
-
-    def _seal_current_block(self) -> None:
-        summary = gmm_coreset(
-            self._current_block,
-            self.metric,
-            self.constraint.total_size,
-            per_group=True,
+def __getattr__(name):
+    """Serve the legacy window names with a deprecation warning (PEP 562)."""
+    if name in _MOVED:
+        warnings.warn(
+            f"importing {name} from repro.streaming.window is deprecated; "
+            f"use `from repro.windowing import {name}` instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self._summaries.append((self._current_start, summary))
-        self._current_block = []
+        from repro import windowing
 
-    def _evict_expired_blocks(self) -> None:
-        window_start = self._position - self.window
-        while self._summaries:
-            start, summary = self._summaries[0]
-            if start + self._block_size <= window_start:
-                self._summaries.popleft()
-            else:
-                break
-
-    # ------------------------------------------------------------------
-    @property
-    def stored_elements(self) -> int:
-        """Number of elements currently held (summaries plus partial block)."""
-        return sum(len(summary) for _, summary in self._summaries) + len(self._current_block)
-
-    def candidate_pool(self) -> List[Element]:
-        """All elements currently available for solution extraction."""
-        pool: Dict[int, Element] = {}
-        for _, summary in self._summaries:
-            for element in summary:
-                pool.setdefault(element.uid, element)
-        for element in self._current_block:
-            pool.setdefault(element.uid, element)
-        return list(pool.values())
-
-    def solution(self) -> Optional[FairSolution]:
-        """Extract a fair solution from the live summaries (``None`` if infeasible)."""
-        pool = self.candidate_pool()
-        if not pool:
-            return None
-        selection = greedy_fair_fill(pool, self.constraint, self.metric)
-        result = FairSolution(selection, self.metric, self.constraint)
-        return result if result.is_fair else None
-
-    def run(self, elements: Sequence[Element]) -> Optional[FairSolution]:
-        """Convenience: process a finite sequence and return the final solution."""
-        for element in elements:
-            self.process(element)
-        return self.solution()
+        return getattr(windowing, name)
+    raise AttributeError(f"module 'repro.streaming.window' has no attribute {name!r}")

@@ -1,0 +1,162 @@
+"""Window policies: which stream positions are live after each arrival.
+
+A window policy is a pure, incremental rule mapping the current stream
+position to the first *live* position — the oldest element that still
+belongs to the window.  The stream adapters
+(:class:`~repro.windowing.stream.WindowedStream` and friends) consume
+positions through this one interface, so new window shapes plug into the
+iteration machinery without touching it.  The windowed *algorithms* are a
+separate, count-based-sliding-only surface: their block geometry is tied
+to the sliding rule, so they take ``window``/``blocks`` directly rather
+than a policy.
+
+Three classic policies ship built in:
+
+* :class:`SlidingWindowPolicy` — the paper's future-work model: the most
+  recent ``window`` elements are live, one element expires per arrival once
+  the window is full;
+* :class:`TumblingWindowPolicy` — fixed-size buckets: the window covers the
+  current bucket only and resets wholesale at every bucket boundary;
+* :class:`LandmarkWindowPolicy` — everything since a fixed landmark
+  position is live and nothing ever expires.
+
+Policies are addressable by name (``"sliding"``, ``"tumbling"``,
+``"landmark"``) through :func:`resolve_policy`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.utils.errors import InvalidParameterError
+from repro.utils.validation import require_positive_int
+
+
+class WindowPolicy:
+    """Base class of window policies (count-based, position-driven).
+
+    Subclasses implement :meth:`live_start`; positions are 0-based stream
+    indices, and after the element at ``position`` arrives the live window
+    is exactly ``[live_start(position), position]``.
+    """
+
+    #: Short policy name used by :func:`resolve_policy` and reports.
+    name = "window"
+
+    def live_start(self, position: int) -> int:
+        """First live stream index after the element at ``position`` arrived."""
+        raise NotImplementedError
+
+    @property
+    def expires(self) -> bool:
+        """Whether elements can ever leave the window under this policy."""
+        return True
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly description of the policy (name plus parameters)."""
+        return {"policy": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parameters = {k: v for k, v in self.describe().items() if k != "policy"}
+        inner = ", ".join(f"{k}={v}" for k, v in parameters.items())
+        return f"{type(self).__name__}({inner})"
+
+
+class SlidingWindowPolicy(WindowPolicy):
+    """Count-based sliding window: the most recent ``window`` elements are live."""
+
+    name = "sliding"
+
+    def __init__(self, window: int) -> None:
+        self.window = require_positive_int(window, "window")
+
+    def live_start(self, position: int) -> int:
+        """``max(0, position - window + 1)`` — one expiry per arrival when full."""
+        return max(0, position - self.window + 1)
+
+    def describe(self) -> Dict[str, object]:
+        """Policy name plus the window length."""
+        return {"policy": self.name, "window": self.window}
+
+
+class TumblingWindowPolicy(WindowPolicy):
+    """Fixed buckets of ``window`` elements; the window resets at each boundary."""
+
+    name = "tumbling"
+
+    def __init__(self, window: int) -> None:
+        self.window = require_positive_int(window, "window")
+
+    def live_start(self, position: int) -> int:
+        """Start of the bucket containing ``position`` (all prior buckets expired)."""
+        return (position // self.window) * self.window
+
+    def describe(self) -> Dict[str, object]:
+        """Policy name plus the bucket length."""
+        return {"policy": self.name, "window": self.window}
+
+
+class LandmarkWindowPolicy(WindowPolicy):
+    """Everything since a fixed landmark position is live; nothing expires."""
+
+    name = "landmark"
+
+    def __init__(self, landmark: int = 0) -> None:
+        if landmark < 0:
+            raise InvalidParameterError(
+                f"landmark must be non-negative, got {landmark}"
+            )
+        self.landmark = int(landmark)
+
+    def live_start(self, position: int) -> int:
+        """The landmark itself (elements before it are never live)."""
+        return self.landmark
+
+    @property
+    def expires(self) -> bool:
+        """``False``: the landmark window only ever grows."""
+        return False
+
+    def describe(self) -> Dict[str, object]:
+        """Policy name plus the landmark position."""
+        return {"policy": self.name, "landmark": self.landmark}
+
+
+#: Policy factories addressable by name in :func:`resolve_policy`.
+_POLICY_NAMES = ("sliding", "tumbling", "landmark")
+
+
+def resolve_policy(
+    policy: Union[str, WindowPolicy], window: int = None
+) -> WindowPolicy:
+    """A :class:`WindowPolicy` from a name or an already-built instance.
+
+    Parameters
+    ----------
+    policy:
+        A policy instance (returned as-is; ``window`` must then be omitted
+        or match) or one of the built-in names ``"sliding"``,
+        ``"tumbling"``, ``"landmark"``.
+    window:
+        Window/bucket length for the sliding and tumbling policies, or the
+        landmark position (default 0) for the landmark policy.
+    """
+    if isinstance(policy, WindowPolicy):
+        own = getattr(policy, "window", getattr(policy, "landmark", None))
+        if window is not None and own != window:
+            raise InvalidParameterError(
+                f"window={window} conflicts with the policy instance "
+                f"{policy!r}; pass one or the other"
+            )
+        return policy
+    name = str(policy).lower()
+    if name == "sliding":
+        return SlidingWindowPolicy(require_positive_int(window, "window"))
+    if name == "tumbling":
+        return TumblingWindowPolicy(require_positive_int(window, "window"))
+    if name == "landmark":
+        return LandmarkWindowPolicy(0 if window is None else window)
+    raise InvalidParameterError(
+        f"unknown window policy {policy!r}; built-in policies: "
+        f"{', '.join(_POLICY_NAMES)}"
+    )

@@ -1,0 +1,111 @@
+"""Windowed stream adapters: lazy iteration with per-arrival expiry reports.
+
+:class:`WindowedStream` wraps *any* iterable of elements — a list, a
+:class:`~repro.streaming.stream.DataStream`, or an unbounded generator —
+and yields ``(element, expired)`` pairs under a
+:class:`~repro.windowing.policy.WindowPolicy`.  Iteration is one-pass and
+lazy: the source is never materialised, so the adapter runs on infinite
+streams with memory bounded by the live-window size (and O(1) memory for
+non-expiring policies such as the landmark window).
+
+:class:`SlidingWindowStream` is the count-based sliding specialisation and
+keeps the historical constructor ``SlidingWindowStream(elements, window)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.data.element import Element
+from repro.windowing.policy import SlidingWindowPolicy, WindowPolicy, resolve_policy
+
+
+class WindowedStream:
+    """Lazy iterator adapter that augments a stream with expiry information.
+
+    Iterating yields ``(element, expired)`` tuples where ``expired`` lists
+    the elements that just left the window, in arrival order.  The source is
+    consumed one element at a time; only the currently-live elements are
+    buffered (nothing at all for non-expiring policies), so unbounded
+    sources work.
+
+    Parameters
+    ----------
+    elements:
+        The element source.  Sized sources (sequences, data streams) keep a
+        working ``len``; generators iterate exactly once and have no length.
+    policy:
+        A :class:`~repro.windowing.policy.WindowPolicy` instance or a
+        built-in policy name (with ``window`` supplying its length).
+    window:
+        Window length used when ``policy`` is given by name.
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[Element],
+        policy: Union[str, WindowPolicy] = "sliding",
+        window: Optional[int] = None,
+    ) -> None:
+        self.policy = resolve_policy(policy, window)
+        self._elements = elements
+        try:
+            self._size: Optional[int] = len(elements)  # type: ignore[arg-type]
+        except TypeError:
+            self._size = None
+
+    def __iter__(self) -> Iterator[Tuple[Element, List[Element]]]:
+        """Yield ``(element, expired)`` pairs, consuming the source lazily."""
+        live: Deque[Element] = deque()
+        buffered = self.policy.expires
+        for position, element in enumerate(self._elements):
+            expired: List[Element] = []
+            if buffered:
+                live.append(element)
+                start = self.policy.live_start(position)
+                # The oldest buffered element sits at stream position
+                # ``position - len(live) + 1``; pop until it is live.
+                while position - len(live) + 1 < start:
+                    expired.append(live.popleft())
+            yield element, expired
+
+    def __len__(self) -> int:
+        """Source length; raises ``TypeError`` for unsized (e.g. generator) sources."""
+        if self._size is None:
+            raise TypeError(
+                f"{type(self).__name__} over an unsized source has no len(); "
+                "iterate it instead"
+            )
+        return self._size
+
+    def __bool__(self) -> bool:
+        """Always truthy — truthiness must not fall back to the raising ``__len__``."""
+        return True
+
+    def __length_hint__(self) -> int:
+        """Best-effort length for consumers that can use one (0 if unknown)."""
+        return 0 if self._size is None else self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        size = "?" if self._size is None else str(self._size)
+        return f"{type(self).__name__}(n={size}, policy={self.policy!r})"
+
+
+class SlidingWindowStream(WindowedStream):
+    """Count-based sliding-window stream: the historical adapter, now lazy.
+
+    Yields ``(element, expired)`` where ``expired`` is the list of elements
+    that just fell out of the length-``window`` suffix.  Unlike the original
+    implementation, the source is *not* materialised: generators and other
+    unbounded iterables are consumed one element at a time with at most
+    ``window`` elements buffered.
+    """
+
+    def __init__(self, elements: Iterable[Element], window: int) -> None:
+        super().__init__(elements, SlidingWindowPolicy(window))
+
+    @property
+    def window(self) -> int:
+        """The window length ``w``."""
+        return self.policy.window

@@ -15,6 +15,10 @@ from pathlib import Path
 
 import pytest
 
+#: Subprocess-heavy end-to-end scripts: excluded from `make test-fast` and
+#: the coverage gate (child processes contribute no in-process coverage).
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
 
 EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))

@@ -12,7 +12,7 @@ from repro.core.local_search import local_search_improve
 from repro.core.sfdm2 import SFDM2
 from repro.datasets.synthetic import synthetic_blobs
 from repro.fairness.constraints import equal_representation
-from repro.streaming.window import CheckpointedWindowFDM
+from repro.windowing import CheckpointedWindowFDM
 
 
 class TestGreedyAugmentationAblation:

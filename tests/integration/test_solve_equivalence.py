@@ -22,7 +22,7 @@ from repro.core.streaming_dm import StreamingDiversityMaximization
 from repro.datasets.synthetic import synthetic_blobs
 from repro.fairness.constraints import equal_representation
 from repro.parallel.driver import ParallelFDM
-from repro.streaming.window import CheckpointedWindowFDM
+from repro.windowing import CheckpointedWindowFDM, SlidingWindowFDM
 
 K = 6
 EPSILON = 0.1
@@ -31,6 +31,7 @@ SEED = 7
 SOLVE_OPTIONS = {
     "ParallelFDM": {"shards": 3, "backend": "serial"},
     "Coreset": {"num_parts": 3},
+    "SlidingWindowFDM": {"window": 100, "blocks": 5},
 }
 
 
@@ -85,6 +86,18 @@ def _direct_window(dataset, constraint):
     return algorithm.solution()
 
 
+def _direct_sliding_window(dataset, constraint):
+    algorithm = SlidingWindowFDM(
+        metric=dataset.metric,
+        constraint=constraint,
+        window=100,
+        blocks=5,
+    )
+    for element in dataset.stream(seed=SEED):
+        algorithm.process(element)
+    return algorithm.solution()
+
+
 def _direct_parallel(dataset, constraint):
     algorithm = ParallelFDM(
         metric=dataset.metric,
@@ -106,6 +119,7 @@ DIRECT_CALLS = {
     "FairGMM": _direct_fair_gmm,
     "Coreset": _direct_coreset,
     "WindowFDM": _direct_window,
+    "SlidingWindowFDM": _direct_sliding_window,
     "ParallelFDM": _direct_parallel,
 }
 

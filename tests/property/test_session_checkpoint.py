@@ -132,7 +132,7 @@ def test_double_checkpoint_chain(seed, dataset, constraint, tmp_path):
 @pytest.mark.parametrize("seed", SEEDS)
 def test_window_session_checkpoint_resume(seed, dataset, constraint, tmp_path):
     """The sliding-window session also survives interruption byte-identically."""
-    from repro.streaming.window import CheckpointedWindowFDM
+    from repro.windowing import CheckpointedWindowFDM
 
     elements = list(dataset.stream(seed=seed))
 

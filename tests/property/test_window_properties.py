@@ -1,0 +1,143 @@
+"""Property tests for the windowing layer's core invariants.
+
+Three guarantees are pinned across seeds, window lengths, and block counts:
+
+1. **Eviction invariant** — no expired element ever appears in a returned
+   solution (or even in the candidate pool) of
+   :class:`~repro.windowing.sliding.SlidingWindowFDM`, at *every* point of
+   the stream, not just at the end.  This is the property the baseline
+   :class:`~repro.windowing.checkpointed.CheckpointedWindowFDM` cannot
+   offer (its block-granular eviction keeps expired elements for up to a
+   block).
+2. **Quality envelope** — the windowed solution's max-min diversity stays
+   within the documented composable-coreset envelope
+   (:data:`~repro.windowing.sliding.APPROXIMATION_FACTOR`) of an offline
+   greedy extraction over the exact live-window contents.
+3. **Checkpoint/resume** — a :class:`~repro.api.session.WindowSession`
+   over the incremental algorithm that is checkpointed, restored, and
+   continued is byte-identical to one that never stopped.
+"""
+
+import pytest
+
+import repro
+from repro.core.postprocess import greedy_fair_fill
+from repro.core.solution import FairSolution
+from repro.datasets.synthetic import synthetic_blobs
+from repro.fairness.constraints import equal_representation
+from repro.windowing import APPROXIMATION_FACTOR, SlidingWindowFDM
+
+SEEDS = (3, 11)
+
+
+def _dataset(n, m, seed):
+    return synthetic_blobs(n=n, m=m, seed=seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("window,blocks", [(40, 4), (75, 5), (120, 8)])
+def test_no_expired_element_ever_in_pool_or_solution(seed, window, blocks):
+    """Invariant 1: every mid-stream pool and solution is expiry-free."""
+    dataset = _dataset(260, 2, seed)
+    constraint = equal_representation(6, list(dataset.group_sizes().keys()))
+    algorithm = SlidingWindowFDM(dataset.metric, constraint, window=window, blocks=blocks)
+    position_of = {}
+    for position, element in enumerate(dataset.stream(seed=seed)):
+        position_of[element.uid] = position
+        algorithm.process(element)
+        window_start = algorithm.window_start
+        assert all(
+            position_of[e.uid] >= window_start for e in algorithm.candidate_pool()
+        )
+        # Query every 19 elements (and at the very end) to keep runtime sane.
+        if position % 19 == 0 or position == 259:
+            solution = algorithm.solution()
+            if solution is not None:
+                assert all(
+                    position_of[e.uid] >= window_start
+                    for e in solution.elements
+                )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("n,window,blocks,k,m", [
+    (400, 120, 6, 6, 2),
+    (300, 80, 4, 4, 2),
+    (500, 200, 8, 8, 3),
+])
+def test_windowed_quality_within_documented_envelope(seed, n, window, blocks, k, m):
+    """Invariant 2: windowed diversity tracks offline-on-window extraction."""
+    dataset = _dataset(n, m, seed)
+    constraint = equal_representation(k, list(dataset.group_sizes().keys()))
+    algorithm = SlidingWindowFDM(dataset.metric, constraint, window=window, blocks=blocks)
+    elements = list(dataset.stream(seed=seed))
+    for element in elements:
+        algorithm.process(element)
+    windowed = algorithm.solution()
+
+    live = elements[max(0, len(elements) - window):]
+    offline = FairSolution(
+        greedy_fair_fill(live, constraint, dataset.metric), dataset.metric, constraint
+    )
+    assert offline.is_fair, "offline reference must be feasible on these instances"
+    assert windowed is not None, "windowed solution must be feasible too"
+    assert windowed.diversity >= offline.diversity / APPROXIMATION_FACTOR
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sliding_window_session_checkpoint_resume(seed, tmp_path):
+    """Invariant 3: checkpoint -> resume -> continue is byte-identical."""
+    dataset = _dataset(300, 2, seed)
+    constraint = equal_representation(6, list(dataset.group_sizes().keys()))
+    elements = list(dataset.stream(seed=seed))
+
+    def make():
+        return repro.WindowSession(
+            SlidingWindowFDM(
+                metric=dataset.metric, constraint=constraint, window=100, blocks=5
+            )
+        )
+
+    uninterrupted = make()
+    uninterrupted.offer_batch(elements)
+    reference = uninterrupted.solution()
+
+    # Two interruptions, one of them mid-block, with a mid-stream query.
+    session = make()
+    session.offer_batch(elements[:87])
+    session.solution()  # a query must not disturb the continuation
+    session = repro.resume(session.checkpoint(tmp_path / f"sliding-{seed}-a.ckpt"))
+    session.offer_batch(elements[87:190])
+    session = repro.resume(session.checkpoint(tmp_path / f"sliding-{seed}-b.ckpt"))
+    session.offer_batch(elements[190:])
+    result = session.solution()
+
+    assert [e.uid for e in result.solution.elements] == [
+        e.uid for e in reference.solution.elements
+    ]
+    assert result.solution.diversity == reference.solution.diversity
+    assert result.stats.peak_stored_elements == reference.stats.peak_stored_elements
+    assert result.algorithm == "SlidingWindowFDM"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_open_session_with_window_uses_sliding_algorithm(seed):
+    """`repro.open_session(..., window=w)` reaches the incremental algorithm."""
+    dataset = _dataset(200, 2, seed)
+    session = repro.open_session(
+        k=4,
+        groups=list(dataset.group_sizes().keys()),
+        metric=dataset.metric,
+        algorithm="sliding_window",
+        window=60,
+        blocks=4,
+    )
+    for element in dataset.stream(seed=seed):
+        session.offer(element)
+    result = session.solution()
+    assert result.algorithm == "SlidingWindowFDM"
+    assert result.solution is not None and result.solution.is_fair
+    # Registry-built windowed sessions report real distance accounting,
+    # mirroring the one-shot runner (not the zeros of an unwrapped metric).
+    assert result.stats.stream_distance_computations > 0
+    assert result.stats.postprocess_distance_computations > 0

@@ -24,6 +24,7 @@ BUILTIN_NAMES = {
     "FairGMM",
     "Coreset",
     "WindowFDM",
+    "SlidingWindowFDM",
     "ParallelFDM",
 }
 
@@ -73,7 +74,13 @@ class TestBuiltinCatalogue:
         streaming = {entry.name for entry in query(kind="streaming")}
         assert streaming == {"StreamingDM", "SFDM1", "SFDM2"}
         sessions = {entry.name for entry in query(sessions=True)}
-        assert sessions == {"StreamingDM", "SFDM1", "SFDM2", "WindowFDM"}
+        assert sessions == {
+            "StreamingDM",
+            "SFDM1",
+            "SFDM2",
+            "WindowFDM",
+            "SlidingWindowFDM",
+        }
         many_groups = {entry.name for entry in query(num_groups=5)}
         assert "SFDM1" not in many_groups and "FairSwap" not in many_groups
         assert "SFDM2" in many_groups

@@ -149,6 +149,46 @@ class TestMain:
         assert code == 0
         assert algorithm in capsys.readouterr().out
 
+    def test_run_sliding_window_with_window_flags(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "synthetic-m2",
+                "--algorithm",
+                "SlidingWindowFDM",
+                "-k",
+                "6",
+                "--n",
+                "400",
+                "--window",
+                "150",
+                "--blocks",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert "SlidingWindowFDM" in capsys.readouterr().out
+
+    def test_invalid_window_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "synthetic-m2",
+                "--algorithm",
+                "SlidingWindowFDM",
+                "-k",
+                "6",
+                "--n",
+                "400",
+                "--window",
+                "0",
+            ]
+        )
+        assert code == 1
+        assert "window" in capsys.readouterr().err
+
     def test_invalid_shards_fails_cleanly(self, capsys):
         code = main(
             [
@@ -183,7 +223,7 @@ class TestMain:
         )
         assert code == 0
         output = capsys.readouterr().out
-        for name in ("ParallelFDM", "Coreset", "WindowFDM"):
+        for name in ("ParallelFDM", "Coreset", "WindowFDM", "SlidingWindowFDM"):
             assert name in output
 
     def test_unknown_dataset_fails_cleanly(self, capsys):

@@ -1,4 +1,6 @@
-"""Unit tests for the sliding-window stream adapter and windowed FDM wrapper."""
+"""Unit tests for the windowing layer: streams, baseline, and incremental FDM."""
+
+import itertools
 
 import numpy as np
 import pytest
@@ -6,8 +8,13 @@ import pytest
 from repro.fairness.constraints import equal_representation
 from repro.metrics.vector import EuclideanMetric
 from repro.data.element import Element
-from repro.streaming.window import CheckpointedWindowFDM, SlidingWindowStream
 from repro.utils.errors import InvalidParameterError
+from repro.windowing import (
+    CheckpointedWindowFDM,
+    SlidingWindowFDM,
+    SlidingWindowStream,
+    WindowedStream,
+)
 
 METRIC = EuclideanMetric()
 
@@ -17,6 +24,14 @@ def _elements(count, period=2):
         Element(uid=i, vector=np.array([float(i), 0.0]), group=i % period)
         for i in range(count)
     ]
+
+
+def _element_generator(period=2):
+    """An unbounded element source (must never be materialised)."""
+    i = 0
+    while True:
+        yield Element(uid=i, vector=np.array([float(i % 17), 0.0]), group=i % period)
+        i += 1
 
 
 class TestSlidingWindowStream:
@@ -38,6 +53,41 @@ class TestSlidingWindowStream:
     def test_invalid_window(self):
         with pytest.raises(InvalidParameterError):
             SlidingWindowStream(_elements(3), window=0)
+
+    def test_generator_source_is_lazy(self):
+        """Regression: an unbounded generator source must not be materialised."""
+        stream = SlidingWindowStream(_element_generator(), window=3)
+        taken = list(itertools.islice(iter(stream), 6))
+        assert [element.uid for element, _ in taken] == [0, 1, 2, 3, 4, 5]
+        assert [[e.uid for e in expired] for _, expired in taken] == [
+            [], [], [], [0], [1], [2],
+        ]
+
+    def test_generator_source_has_no_len(self):
+        stream = SlidingWindowStream(_element_generator(), window=3)
+        with pytest.raises(TypeError, match="unsized"):
+            len(stream)
+        assert stream.__length_hint__() == 0
+
+    def test_truthiness_never_raises(self):
+        """bool() must not fall back to the raising __len__ of unsized streams."""
+        assert bool(SlidingWindowStream(_element_generator(), window=3))
+        assert bool(SlidingWindowStream(_elements(2), window=3))
+
+
+class TestWindowedStreamPolicies:
+    def test_tumbling_expires_whole_buckets(self):
+        stream = WindowedStream(_elements(7), policy="tumbling", window=3)
+        expiries = [[e.uid for e in expired] for _, expired in stream]
+        assert expiries == [[], [], [], [0, 1, 2], [], [], [3, 4, 5]]
+
+    def test_landmark_never_expires(self):
+        stream = WindowedStream(_elements(64), policy="landmark")
+        assert all(not expired for _, expired in stream)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown window policy"):
+            WindowedStream(_elements(3), policy="hopping", window=2)
 
 
 class TestCheckpointedWindowFDM:
@@ -83,7 +133,118 @@ class TestCheckpointedWindowFDM:
         with pytest.raises(InvalidParameterError):
             CheckpointedWindowFDM(METRIC, constraint, window=4, blocks=8)
 
+    def test_window_shorter_than_k_rejected(self):
+        """A window that can never hold k elements is rejected eagerly."""
+        constraint = equal_representation(8, [0, 1])
+        with pytest.raises(InvalidParameterError, match="shorter than"):
+            CheckpointedWindowFDM(METRIC, constraint, window=4, blocks=2)
+
     def test_empty_state_returns_none(self):
         constraint = equal_representation(4, [0, 1])
         algorithm = CheckpointedWindowFDM(METRIC, constraint, window=10, blocks=2)
         assert algorithm.solution() is None
+
+    def test_run_accepts_generator(self):
+        constraint = equal_representation(4, [0, 1])
+        algorithm = CheckpointedWindowFDM(METRIC, constraint, window=20, blocks=4)
+        solution = algorithm.run(itertools.islice(_element_generator(), 80))
+        assert solution is not None and solution.is_fair
+
+
+class TestSlidingWindowFDM:
+    def test_produces_fair_solution(self):
+        constraint = equal_representation(4, [0, 1])
+        algorithm = SlidingWindowFDM(METRIC, constraint, window=40, blocks=4)
+        solution = algorithm.run(_elements(100))
+        assert solution is not None
+        assert solution.is_fair
+        assert solution.size == 4
+
+    def test_pool_is_exactly_expiry_free(self):
+        """Unlike the baseline, no expired element ever enters the pool."""
+        constraint = equal_representation(4, [0, 1])
+        algorithm = SlidingWindowFDM(METRIC, constraint, window=20, blocks=4)
+        for element in _elements(203):
+            algorithm.process(element)
+            pool_uids = {e.uid for e in algorithm.candidate_pool()}
+            assert all(uid >= algorithm.window_start for uid in pool_uids)
+
+    def test_coverage_within_one_block_of_window_start(self):
+        constraint = equal_representation(4, [0, 1])
+        algorithm = SlidingWindowFDM(METRIC, constraint, window=24, blocks=6)
+        for element in _elements(150):
+            algorithm.process(element)
+            assert algorithm.window_start <= algorithm.coverage_start
+            assert algorithm.coverage_start <= algorithm.window_start + 24 // 6
+
+    def test_memory_stays_below_window(self):
+        constraint = equal_representation(4, [0, 1])
+        algorithm = SlidingWindowFDM(METRIC, constraint, window=80, blocks=8)
+        for element in _elements(400):
+            algorithm.process(element)
+        assert algorithm.stored_elements < 80
+
+    def test_unbounded_source(self):
+        """The algorithm runs on a generator without materialising it."""
+        constraint = equal_representation(4, [0, 1])
+        algorithm = SlidingWindowFDM(METRIC, constraint, window=30, blocks=3)
+        solution = algorithm.run(itertools.islice(_element_generator(), 500))
+        assert solution is not None and solution.is_fair
+
+    def test_infeasible_window_returns_none(self):
+        constraint = equal_representation(4, [0, 1])
+        algorithm = SlidingWindowFDM(METRIC, constraint, window=10, blocks=2)
+        elements = [
+            Element(uid=i, vector=np.array([float(i), 0.0]), group=0) for i in range(40)
+        ]
+        assert algorithm.run(elements) is None
+
+    def test_empty_state_returns_none(self):
+        constraint = equal_representation(4, [0, 1])
+        algorithm = SlidingWindowFDM(METRIC, constraint, window=10, blocks=2)
+        assert algorithm.solution() is None
+
+    def test_window_shorter_than_k_rejected(self):
+        constraint = equal_representation(8, [0, 1])
+        with pytest.raises(InvalidParameterError, match="shorter than"):
+            SlidingWindowFDM(METRIC, constraint, window=4, blocks=2)
+
+    def test_invalid_blocks(self):
+        constraint = equal_representation(4, [0, 1])
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowFDM(METRIC, constraint, window=4, blocks=8)
+
+    def test_single_block_rejected(self):
+        """blocks=1 would empty the pool right after every boundary."""
+        constraint = equal_representation(4, [0, 1])
+        with pytest.raises(InvalidParameterError, match="at least 2 blocks"):
+            SlidingWindowFDM(METRIC, constraint, window=100, blocks=1)
+
+    def test_two_blocks_stay_feasible_past_boundaries(self):
+        """The minimum block count keeps a usable pool at every position."""
+        constraint = equal_representation(4, [0, 1])
+        algorithm = SlidingWindowFDM(METRIC, constraint, window=40, blocks=2)
+        for element in _elements(130):
+            algorithm.process(element)
+            if algorithm.elements_processed >= algorithm.window:
+                assert algorithm.solution() is not None
+
+    def test_elements_processed(self):
+        constraint = equal_representation(4, [0, 1])
+        algorithm = SlidingWindowFDM(METRIC, constraint, window=10, blocks=2)
+        for element in _elements(37):
+            algorithm.process(element)
+        assert algorithm.elements_processed == 37
+
+
+def test_streaming_window_module_is_a_deprecation_shim():
+    """The historical module keeps working but points at repro.windowing."""
+    import importlib
+
+    legacy = importlib.import_module("repro.streaming.window")
+    with pytest.warns(DeprecationWarning, match="repro.windowing"):
+        assert legacy.CheckpointedWindowFDM is CheckpointedWindowFDM
+    with pytest.warns(DeprecationWarning, match="repro.windowing"):
+        assert legacy.SlidingWindowStream is SlidingWindowStream
+    with pytest.raises(AttributeError):
+        legacy.NoSuchName

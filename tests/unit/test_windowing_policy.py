@@ -1,0 +1,95 @@
+"""Unit tests for the window-policy abstraction."""
+
+import pytest
+
+from repro.utils.errors import InvalidParameterError
+from repro.windowing import (
+    LandmarkWindowPolicy,
+    SlidingWindowPolicy,
+    TumblingWindowPolicy,
+    WindowPolicy,
+    resolve_policy,
+)
+
+
+class TestSlidingPolicy:
+    def test_live_start_tracks_suffix(self):
+        policy = SlidingWindowPolicy(window=3)
+        assert [policy.live_start(p) for p in range(6)] == [0, 0, 0, 1, 2, 3]
+
+    def test_expires(self):
+        assert SlidingWindowPolicy(window=3).expires is True
+
+    def test_describe(self):
+        assert SlidingWindowPolicy(window=5).describe() == {
+            "policy": "sliding",
+            "window": 5,
+        }
+
+    def test_invalid_window(self):
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowPolicy(window=0)
+
+
+class TestTumblingPolicy:
+    def test_live_start_resets_per_bucket(self):
+        policy = TumblingWindowPolicy(window=4)
+        assert [policy.live_start(p) for p in range(9)] == [0, 0, 0, 0, 4, 4, 4, 4, 8]
+
+    def test_describe(self):
+        assert TumblingWindowPolicy(window=4).describe() == {
+            "policy": "tumbling",
+            "window": 4,
+        }
+
+
+class TestLandmarkPolicy:
+    def test_live_start_is_the_landmark(self):
+        policy = LandmarkWindowPolicy(landmark=7)
+        assert [policy.live_start(p) for p in (0, 7, 100)] == [7, 7, 7]
+
+    def test_never_expires(self):
+        assert LandmarkWindowPolicy().expires is False
+
+    def test_negative_landmark_rejected(self):
+        with pytest.raises(InvalidParameterError, match="landmark"):
+            LandmarkWindowPolicy(landmark=-1)
+
+    def test_describe(self):
+        assert LandmarkWindowPolicy(landmark=2).describe() == {
+            "policy": "landmark",
+            "landmark": 2,
+        }
+
+
+class TestResolvePolicy:
+    def test_resolves_names(self):
+        assert isinstance(resolve_policy("sliding", 4), SlidingWindowPolicy)
+        assert isinstance(resolve_policy("tumbling", 4), TumblingWindowPolicy)
+        assert isinstance(resolve_policy("landmark"), LandmarkWindowPolicy)
+
+    def test_passes_instances_through(self):
+        policy = SlidingWindowPolicy(window=2)
+        assert resolve_policy(policy) is policy
+        assert resolve_policy(policy, window=2) is policy
+
+    def test_conflicting_window_with_instance_rejected(self):
+        with pytest.raises(InvalidParameterError, match="conflicts"):
+            resolve_policy(SlidingWindowPolicy(window=10), window=50)
+        with pytest.raises(InvalidParameterError, match="conflicts"):
+            resolve_policy(LandmarkWindowPolicy(), window=50)
+
+    def test_landmark_window_becomes_landmark_position(self):
+        assert resolve_policy("landmark", 9).landmark == 9
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown window policy"):
+            resolve_policy("hopping", 4)
+
+    def test_missing_window_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_policy("sliding")
+
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            WindowPolicy().live_start(0)
