@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast cov golden bench-smoke bench-batch bench-parallel bench-hot bench-window perf-gate docs-check api-check api-surface ci
+.PHONY: test test-fast cov golden bench-smoke bench-batch bench-parallel bench-hot bench-window bench-index perf-gate docs-check api-check api-surface ci
 
 ## Run the full test suite (tier-1 gate).
 test:
@@ -35,6 +35,7 @@ bench-smoke:
 	REPRO_BENCH_BATCH_N=5000 $(PYTHON) -m pytest benchmarks/bench_batch_throughput.py -q -s
 	REPRO_BENCH_PARALLEL_N=4000 $(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py -q -s
 	REPRO_BENCH_WINDOW_N=6000 $(PYTHON) -m pytest benchmarks/bench_window.py -q -s
+	REPRO_BENCH_INDEX_N=4000 $(PYTHON) -m pytest benchmarks/bench_index.py -q -s
 	REPRO_BENCH_N=500 $(PYTHON) -m pytest benchmarks/bench_fig7_time_vs_k.py -q -s
 
 ## Acceptance-scale batch engine benchmark (SFDM2, n = 50_000, >= 5x).
@@ -60,6 +61,13 @@ bench-hot:
 ## Refreshes the `window` section of BENCH_hot_paths.json.
 bench-window:
 	$(PYTHON) -m pytest benchmarks/bench_window.py -q -s
+
+## Acceptance-scale spatial-index benchmark (SFDM2 + GMM, indexed vs
+## brute kernels at n = 100_000: identical solutions, >= 2x fewer counted
+## distance evaluations on SFDM2). Refreshes the `index` section of
+## BENCH_hot_paths.json.
+bench-index:
+	$(PYTHON) -m pytest benchmarks/bench_index.py -q -s
 
 ## Perf-regression gate: fresh smoke run of the hot-path bench compared
 ## against the committed BENCH_hot_paths.json baseline (wall-clock checks

@@ -1,0 +1,139 @@
+"""Index-layer benchmark: spatial-index screens vs. brute-force kernels.
+
+This is the acceptance bench for the ``repro.index`` layer (KD/ball trees
+behind the candidate screens and farthest-point rounds).  It runs the two
+headline paths the index accelerates, indexed and brute, on the same
+stream permutation:
+
+1. **SFDM2 batched ingest** at ``n = 100 000``: ``index="kd"`` replaces
+   the union screen's charged dedup kernel with tree traversal — the
+   solution must be byte-identical and the charged distance count must
+   drop by at least :data:`TARGET_REDUCTION` at acceptance scale.
+2. **GMM farthest-point baseline** over the full dataset: the
+   :class:`~repro.index.farthest.FarthestPointIndex` prunes the
+   per-round nearest-array refresh.
+
+The claim under test is the *paper's* cost model — counted distance
+evaluations — not wall-clock: the Python tree traversal usually loses
+wall-clock to the fused NumPy kernels at these scales, and both times
+are recorded so nobody has to guess.  Headline numbers are appended to
+``BENCH_hot_paths.json`` (section ``index`` at acceptance scale,
+``index_smoke`` below it); ``tools/perf_gate.py`` checks both sections.
+Override the scale with ``REPRO_BENCH_INDEX_N``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.baselines.gmm import gmm_elements
+from repro.core.sfdm2 import SFDM2
+from repro.datasets.synthetic import synthetic_blobs
+from repro.evaluation.reporting import write_csv
+from repro.fairness.constraints import equal_representation
+from repro.metrics.cached import CountingMetric
+from repro.parallel.backends import usable_cpus
+
+from .conftest import BENCH_SEED, print_table, record_bench_section, scaled_csv_name
+
+#: Acceptance-scale dataset size (override with REPRO_BENCH_INDEX_N).
+INDEX_N = int(os.environ.get("REPRO_BENCH_INDEX_N", "100000"))
+#: Chunk size for the batched SFDM2 comparison (same for both modes).
+BATCH_SIZE = int(os.environ.get("REPRO_BENCH_INDEX_BATCH", "1024"))
+#: Minimum accepted brute/indexed evaluation ratio at acceptance scale.
+TARGET_REDUCTION = 2.0
+
+K = 20
+M = 2
+EPSILON = 0.1
+
+COLUMNS = ["path", "mode", "n", "distance_evals", "reduction", "seconds"]
+
+
+def _run_sfdm2(dataset, constraint, index):
+    algorithm = SFDM2(
+        metric=dataset.metric,
+        constraint=constraint,
+        epsilon=EPSILON,
+        batch_size=BATCH_SIZE,
+        index=index,
+    )
+    started = time.perf_counter()
+    result = algorithm.run(dataset.stream(seed=BENCH_SEED))
+    return result, time.perf_counter() - started
+
+
+def _run_gmm(store, metric, index):
+    counting = CountingMetric(metric)
+    started = time.perf_counter()
+    solution = gmm_elements(store, counting, K, index=index)
+    return solution, counting.calls, time.perf_counter() - started
+
+
+def test_index_layer(results_dir):
+    """Indexed runs: identical solutions, >= 2x fewer evaluations (SFDM2)."""
+    dataset = synthetic_blobs(n=INDEX_N, m=M, seed=BENCH_SEED)
+    constraint = equal_representation(K, list(dataset.group_sizes().keys()))
+    store = dataset.columnar()
+    assert store is not None, "synthetic blobs must be columnar"
+
+    brute_result, brute_s = _run_sfdm2(dataset, constraint, index=None)
+    indexed_result, indexed_s = _run_sfdm2(dataset, constraint, index="kd")
+
+    # Identity first: the index may only change the accounting.
+    assert list(indexed_result.solution.uids) == list(brute_result.solution.uids)
+    assert indexed_result.solution.diversity == brute_result.solution.diversity
+
+    brute_calls = brute_result.stats.total_distance_computations
+    indexed_calls = indexed_result.stats.total_distance_computations
+    sfdm2_reduction = brute_calls / max(indexed_calls, 1)
+
+    gmm_brute, gmm_brute_calls, gmm_brute_s = _run_gmm(store, dataset.metric, None)
+    gmm_indexed, gmm_indexed_calls, gmm_indexed_s = _run_gmm(store, dataset.metric, "kd")
+    assert [e.uid for e in gmm_indexed] == [e.uid for e in gmm_brute]
+    gmm_reduction = gmm_brute_calls / max(gmm_indexed_calls, 1)
+
+    rows = [
+        {"path": "sfdm2", "mode": "brute", "n": INDEX_N, "distance_evals": brute_calls, "reduction": 1.0, "seconds": brute_s},
+        {"path": "sfdm2", "mode": "kd", "n": INDEX_N, "distance_evals": indexed_calls, "reduction": sfdm2_reduction, "seconds": indexed_s},
+        {"path": "gmm", "mode": "brute", "n": INDEX_N, "distance_evals": gmm_brute_calls, "reduction": 1.0, "seconds": gmm_brute_s},
+        {"path": "gmm", "mode": "kd", "n": INDEX_N, "distance_evals": gmm_indexed_calls, "reduction": gmm_reduction, "seconds": gmm_indexed_s},
+    ]
+    print_table(rows, COLUMNS, title=f"spatial index vs brute force — n={INDEX_N}")
+    write_csv(rows, results_dir / scaled_csv_name("index", INDEX_N, 100_000), columns=COLUMNS)
+
+    record_bench_section(
+        "index" if INDEX_N >= 100_000 else "index_smoke",
+        {
+            "n": INDEX_N,
+            "batch_size": BATCH_SIZE,
+            "k": K,
+            "m": M,
+            "epsilon": EPSILON,
+            "cpus": usable_cpus(),
+            "sfdm2_brute_evals": int(brute_calls),
+            "sfdm2_indexed_evals": int(indexed_calls),
+            "sfdm2_reduction": round(sfdm2_reduction, 2),
+            "sfdm2_brute_s": round(brute_s, 4),
+            "sfdm2_indexed_s": round(indexed_s, 4),
+            "gmm_brute_evals": int(gmm_brute_calls),
+            "gmm_indexed_evals": int(gmm_indexed_calls),
+            "gmm_reduction": round(gmm_reduction, 2),
+            "gmm_brute_s": round(gmm_brute_s, 4),
+            "gmm_indexed_s": round(gmm_indexed_s, 4),
+        },
+    )
+
+    # The index may NEVER charge more than the brute kernels, at any scale.
+    assert indexed_calls <= brute_calls
+    assert gmm_indexed_calls <= gmm_brute_calls
+    if INDEX_N >= 100_000:
+        assert sfdm2_reduction >= TARGET_REDUCTION, (
+            f"SFDM2 indexed reduction {sfdm2_reduction:.2f}x below the "
+            f"{TARGET_REDUCTION:g}x acceptance bar"
+        )
+    print(
+        f"\nsfdm2 reduction: {sfdm2_reduction:.2f}x, gmm reduction: "
+        f"{gmm_reduction:.2f}x (target >= {TARGET_REDUCTION:g}x at n >= 100000)"
+    )

@@ -254,7 +254,7 @@ class StreamingSession(SessionBase):
     @property
     def _batched(self) -> bool:
         """Whether ingestion runs through the vectorized batch path."""
-        batch_size = self._algorithm.batch_size
+        batch_size = self._algorithm._effective_batch_size
         return batch_size is not None and batch_size > 1 and self._counting.supports_batch
 
     # ------------------------------------------------------------------
@@ -283,7 +283,7 @@ class StreamingSession(SessionBase):
             self._ladder, self._counting
         )
         if self._batched:
-            self._stats.extra["batch_size"] = float(self._algorithm.batch_size)
+            self._stats.extra["batch_size"] = float(self._algorithm._effective_batch_size)
 
     def _activate_from_pending(self) -> None:
         """Estimate bounds from the buffered warmup and start ingesting.
@@ -322,17 +322,17 @@ class StreamingSession(SessionBase):
                     chunk, self._blind, self._specific, self._stats
                 )
             return
-        size = self._algorithm.batch_size
+        size = self._algorithm._effective_batch_size
         while len(self._pending) >= size:
             chunk = self._pending[:size]
             del self._pending[:size]
             self._algorithm._ingest_batches(
-                chunk, self._blind, self._specific, self._stats
+                chunk, self._blind, self._specific, self._stats, size
             )
         if final and self._pending:
             chunk, self._pending = self._pending, []
             self._algorithm._ingest_batches(
-                chunk, self._blind, self._specific, self._stats
+                chunk, self._blind, self._specific, self._stats, size
             )
 
     # ------------------------------------------------------------------

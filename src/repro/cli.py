@@ -202,6 +202,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         default=8,
         help="number of blocks the window is divided into (default 8)",
     )
+    parser.add_argument(
+        "--index",
+        choices=("kd", "ball", "none", "auto"),
+        default=None,
+        help=(
+            "spatial index for the candidate screens and farthest-point "
+            "rounds; solutions are identical, distance evaluations drop "
+            "(default: brute-force kernels)"
+        ),
+    )
 
 
 _COLUMNS = [
@@ -254,6 +264,7 @@ def _options_for(args: argparse.Namespace, name: str) -> dict:
         "backend": args.backend,
         "window": args.window,
         "blocks": args.blocks,
+        "index": args.index,
     }
     return {key: value for key, value in flag_values.items() if key in accepted}
 
@@ -270,7 +281,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _make_config(args)
     algorithms = default_algorithms(
-        include_fair_gmm=args.include_fair_gmm, batch_size=args.batch_size
+        include_fair_gmm=args.include_fair_gmm,
+        batch_size=args.batch_size,
+        index=args.index,
     )
     if args.include_extended:
         algorithms += extended_algorithms(

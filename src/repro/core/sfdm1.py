@@ -46,6 +46,10 @@ class SFDM1(StreamingAlgorithm):
         Optional chunk size for the vectorized batch ingestion path (see
         :class:`~repro.core.base.StreamingAlgorithm`); ``None`` keeps
         element-at-a-time updates.
+    index:
+        Optional spatial-index kind (``"kd"``/``"ball"``/``"auto"``) for
+        the candidate screens and the fallback fill; see
+        :class:`~repro.core.base.StreamingAlgorithm`.
     """
 
     name = "SFDM1"
@@ -59,6 +63,7 @@ class SFDM1(StreamingAlgorithm):
         warmup_size: int = 64,
         fallback: bool = True,
         batch_size: Optional[int] = None,
+        index: Optional[str] = None,
     ) -> None:
         super().__init__(
             metric,
@@ -66,6 +71,7 @@ class SFDM1(StreamingAlgorithm):
             distance_bounds=distance_bounds,
             warmup_size=warmup_size,
             batch_size=batch_size,
+            index=index,
         )
         if constraint.num_groups != 2:
             raise InvalidParameterError(
@@ -134,7 +140,9 @@ class SFDM1(StreamingAlgorithm):
 
         if best is None and self.fallback:
             pool = self._stored_elements(blind, specific)
-            filled = greedy_fair_fill(pool, self.constraint, metric)
+            filled = greedy_fair_fill(
+                pool, self.constraint, metric, index=self._index_kind
+            )
             candidate_solution = FairSolution(filled, metric, self.constraint)
             if candidate_solution.is_fair:
                 best = candidate_solution

@@ -59,6 +59,10 @@ class SFDM2(StreamingAlgorithm):
         Optional chunk size for the vectorized batch ingestion path (see
         :class:`~repro.core.base.StreamingAlgorithm`); ``None`` keeps
         element-at-a-time updates.
+    index:
+        Optional spatial-index kind (``"kd"``/``"ball"``/``"auto"``) for
+        the candidate screens and the fallback fill; see
+        :class:`~repro.core.base.StreamingAlgorithm`.
     """
 
     name = "SFDM2"
@@ -73,6 +77,7 @@ class SFDM2(StreamingAlgorithm):
         fallback: bool = True,
         greedy_augmentation: bool = True,
         batch_size: Optional[int] = None,
+        index: Optional[str] = None,
     ) -> None:
         super().__init__(
             metric,
@@ -80,6 +85,7 @@ class SFDM2(StreamingAlgorithm):
             distance_bounds=distance_bounds,
             warmup_size=warmup_size,
             batch_size=batch_size,
+            index=index,
         )
         self.constraint = constraint
         self.fallback = bool(fallback)
@@ -142,7 +148,9 @@ class SFDM2(StreamingAlgorithm):
 
         if best is None and self.fallback:
             pool = self._stored_elements(blind, specific)
-            filled = greedy_fair_fill(pool, self.constraint, metric)
+            filled = greedy_fair_fill(
+                pool, self.constraint, metric, index=self._index_kind
+            )
             candidate_solution = FairSolution(filled, metric, self.constraint)
             if candidate_solution.is_fair:
                 best = candidate_solution

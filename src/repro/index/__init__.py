@@ -1,0 +1,51 @@
+"""Spatial-index acceleration layer (:mod:`repro.index`).
+
+Pure-NumPy KD-tree and ball-tree structures that prune provably
+irrelevant distance evaluations from the library's hot screens — the
+streaming candidate ladder (:class:`~repro.index.screen.IndexedScreen`),
+the farthest-point greedy rounds
+(:class:`~repro.index.farthest.FarthestPointIndex`), and point queries
+(:class:`~repro.index.tree.SpatialIndex`).  The layer is opt-in
+(``index="kd"|"ball"|"none"|"auto"`` wherever algorithms are built) and
+**transparent**: indexed runs produce bit-identical solutions to the
+brute-force paths while reporting fewer (never more) counted distance
+evaluations.  The differential harness in
+``tests/property/test_index_equivalence.py`` is the proof.
+
+Only the leaf ``tree`` module is imported eagerly: ``screen`` depends on
+:mod:`repro.core.base`, which itself imports ``tree``, so the heavier
+names resolve lazily to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.index.tree import (
+    INDEX_KINDS,
+    LEAF_SIZE,
+    PRUNE_SLACK,
+    SpatialIndex,
+    resolve_index_kind,
+)
+
+__all__ = [
+    "INDEX_KINDS",
+    "LEAF_SIZE",
+    "PRUNE_SLACK",
+    "SpatialIndex",
+    "resolve_index_kind",
+    "FarthestPointIndex",
+    "IndexedScreen",
+]
+
+
+def __getattr__(name: str):
+    """Lazy exports whose modules import back through :mod:`repro.core`."""
+    if name == "IndexedScreen":
+        from repro.index.screen import IndexedScreen
+
+        return IndexedScreen
+    if name == "FarthestPointIndex":
+        from repro.index.farthest import FarthestPointIndex
+
+        return FarthestPointIndex
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,421 @@
+"""Pure-NumPy spatial index: KD-tree and ball-tree over a payload matrix.
+
+One class, :class:`SpatialIndex`, implements both variants behind a
+``kind`` switch — they share the distance-free median-split build (split
+the widest bounding-box dimension at the median, leaf buckets of
+``leaf_size`` rows) and differ only in the node lower/upper bounds:
+
+* ``kd`` nodes bound with the metric's axis-aligned box kernels
+  (:meth:`~repro.metrics.base.Metric.box_lower_bounds` /
+  ``box_upper_bounds``);
+* ``ball`` nodes carry a center (the bounding-box midpoint) and a covering
+  radius, and bound through the triangle inequality.
+
+**Accounting contract** (what makes the index transparent): every
+element-to-element distance a query reports or decides on flows through
+the *caller's* metric — pass a
+:class:`~repro.metrics.cached.CountingMetric` and exactly the distances
+actually evaluated are charged, never more.  Bound arithmetic (box gaps,
+center distances, ball radii) runs on the **unwrapped** raw metric and is
+never charged: in the paper's cost model it is geometry, not a distance
+evaluation.  Because the brute-force screens charge every (query, point)
+pair, an indexed query can only ever report *fewer or equal* evaluations.
+
+**Pruning contract**: a subtree is skipped only when its lower bound
+(shrunk by :data:`PRUNE_SLACK` to absorb floating-point rounding in the
+bound arithmetic) already decides the query for every point inside it.
+Every distance that could influence a decision is still computed exactly,
+so decisions are bitwise identical to the brute-force path — the
+differential test harness (``tests/property/test_index_equivalence.py``)
+pins this end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.base import Metric, unwrap_metric
+from repro.utils.errors import InvalidParameterError
+
+#: Index kinds accepted by the ``index=`` option everywhere it is plumbed.
+INDEX_KINDS = ("kd", "ball", "none", "auto")
+
+#: Conservative shrink factor applied to node lower bounds before every
+#: pruning comparison.  The bound arithmetic rounds differently from the
+#: distance kernels; shrinking by one part in 10^9 guarantees a subtree is
+#: only pruned when every exact (floating-point) distance inside it would
+#: have produced the same decision — far below the relative error of any
+#: well-conditioned Minkowski norm, far above one ulp.
+PRUNE_SLACK = 1.0 - 1e-9
+
+#: Matching inflation factor for upper bounds (whole-node acceptance in
+#: :meth:`SpatialIndex.range_count`): a node counts wholesale only when
+#: its inflated upper bound still sits inside the range.
+UPPER_SLACK = 1.0 + 1e-9
+
+#: Default leaf bucket size (rows per leaf before the split stops).
+LEAF_SIZE = 32
+
+
+def resolve_index_kind(index: Optional[str], metric: Metric) -> Optional[str]:
+    """Resolve an ``index=`` option value against a metric's capabilities.
+
+    Returns the concrete tree kind (``"kd"`` or ``"ball"``) or ``None``
+    for the brute-force path.  ``"auto"`` degrades silently to ``None``
+    when the metric lacks bound kernels; an *explicit* ``"kd"``/``"ball"``
+    on such a metric raises instead of silently changing the accounting
+    the caller asked to observe.
+    """
+    if index is None or index == "none":
+        return None
+    if index not in ("kd", "ball", "auto"):
+        raise InvalidParameterError(
+            f"index must be one of {INDEX_KINDS}, got {index!r}"
+        )
+    base = unwrap_metric(metric)
+    supported = bool(getattr(base, "supports_index", False))
+    if index == "auto":
+        return "kd" if supported else None
+    if not supported:
+        raise InvalidParameterError(
+            f"index={index!r} requires a metric with box bounds "
+            f"(the Minkowski family); {getattr(base, 'name', base)!r} has none"
+        )
+    return index
+
+
+class SpatialIndex:
+    """KD-tree / ball-tree over the rows of a payload matrix.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, d)`` float payload matrix (a store feature matrix or any
+        stacked vectors).  Rows are copied into tree order once at build
+        time so every leaf is a contiguous slice.
+    metric:
+        The metric whose geometry the tree indexes.  Wrappers are
+        unwrapped; the innermost metric must advertise
+        :attr:`~repro.metrics.base.Metric.supports_index`.
+    kind:
+        ``"kd"`` (box bounds) or ``"ball"`` (center/radius bounds).
+    leaf_size:
+        Split stops when a node holds at most this many rows.
+    """
+
+    __slots__ = (
+        "kind",
+        "points",
+        "perm",
+        "_base",
+        "_starts",
+        "_stops",
+        "_lefts",
+        "_rights",
+        "_los",
+        "_his",
+        "_centers",
+        "_radii",
+        "_leaf_ids",
+        "_leaf_starts",
+    )
+
+    def __init__(
+        self,
+        matrix: Any,
+        metric: Metric,
+        kind: str = "kd",
+        leaf_size: int = LEAF_SIZE,
+    ) -> None:
+        if kind not in ("kd", "ball"):
+            raise InvalidParameterError(f"tree kind must be 'kd' or 'ball', got {kind!r}")
+        base = unwrap_metric(metric)
+        if not getattr(base, "supports_index", False):
+            raise InvalidParameterError(
+                f"{getattr(base, 'name', base)!r} has no box bounds; "
+                f"a SpatialIndex cannot be built over it"
+            )
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(-1, 1)
+        if matrix.shape[0] == 0:
+            raise InvalidParameterError("cannot index an empty matrix")
+        self.kind = kind
+        self._base = base
+        n = matrix.shape[0]
+        perm = np.arange(n, dtype=np.int64)
+        leaf_size = max(1, int(leaf_size))
+
+        starts: List[int] = []
+        stops: List[int] = []
+        lefts: List[int] = []
+        rights: List[int] = []
+        los: List[np.ndarray] = []
+        his: List[np.ndarray] = []
+
+        # Iterative pre-order build (explicit stack, so deep trees cannot
+        # hit the recursion limit).  Children are appended after their
+        # parent, which is what lets the per-node aggregates in
+        # :meth:`node_maxes` run as a single reversed scan.
+        stack: List[Tuple[int, int, int]] = [(0, n, -1)]  # (start, stop, parent)
+        while stack:
+            start, stop, parent = stack.pop()
+            node = len(starts)
+            if parent >= 0:
+                # The parent's first-filled child slot is the left child.
+                if lefts[parent] < 0:
+                    lefts[parent] = node
+                else:
+                    rights[parent] = node
+            block = matrix[perm[start:stop]]
+            lo = block.min(axis=0)
+            hi = block.max(axis=0)
+            starts.append(start)
+            stops.append(stop)
+            lefts.append(-1)
+            rights.append(-1)
+            los.append(lo)
+            his.append(hi)
+            if stop - start <= leaf_size:
+                continue
+            dim = int(np.argmax(hi - lo))
+            if hi[dim] == lo[dim]:
+                # All rows identical: splitting cannot separate anything.
+                continue
+            mid = (start + stop) // 2
+            order = np.argpartition(block[:, dim], mid - start)
+            perm[start:stop] = perm[start:stop][order]
+            # Push right first so the left child pops (and is appended)
+            # first, keeping leaves in ascending start order.
+            stack.append((mid, stop, node))
+            stack.append((start, mid, node))
+
+        self.perm = perm
+        self.points = np.ascontiguousarray(matrix[perm])
+        self._starts = np.asarray(starts, dtype=np.int64)
+        self._stops = np.asarray(stops, dtype=np.int64)
+        self._lefts = np.asarray(lefts, dtype=np.int64)
+        self._rights = np.asarray(rights, dtype=np.int64)
+        self._los = np.asarray(los, dtype=float)
+        self._his = np.asarray(his, dtype=float)
+        leaf_mask = self._lefts < 0
+        self._leaf_ids = np.nonzero(leaf_mask)[0]
+        self._leaf_starts = self._starts[self._leaf_ids]
+
+        if kind == "ball":
+            centers = (self._los + self._his) / 2.0
+            radii = np.empty(len(starts), dtype=float)
+            for node in range(len(starts)):
+                block = self.points[self._starts[node] : self._stops[node]]
+                # Covering radius via the *raw* metric — index geometry,
+                # never charged.
+                radii[node] = float(base.distances_to(centers[node], block).max())
+            self._centers = centers
+            self._radii = radii
+        else:
+            self._centers = None
+            self._radii = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of tree nodes (internal + leaves)."""
+        return int(self._starts.shape[0])
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether ``node`` has no children."""
+        return self._lefts[node] < 0
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def lower_bounds(self, Q: np.ndarray, node: int) -> np.ndarray:
+        """Per-query lower bounds on the distance to any point in ``node``.
+
+        Uncharged bound arithmetic on the raw metric (see the module
+        docstring's accounting contract).
+        """
+        if self.kind == "kd":
+            return self._base.box_lower_bounds(Q, self._los[node], self._his[node])
+        center_distances = self._base.distances_to(self._centers[node], Q)
+        return np.maximum(center_distances - self._radii[node], 0.0)
+
+    def upper_bounds(self, Q: np.ndarray, node: int) -> np.ndarray:
+        """Per-query upper bounds on the distance to any point in ``node``."""
+        if self.kind == "kd":
+            return self._base.box_upper_bounds(Q, self._los[node], self._his[node])
+        center_distances = self._base.distances_to(self._centers[node], Q)
+        return center_distances + self._radii[node]
+
+    def node_maxes(self, values: np.ndarray) -> np.ndarray:
+        """Per-node maximum of ``values`` (given in *original* row order).
+
+        The building block of the monotone-screen pruning rules: a subtree
+        whose lower bound already exceeds its value maximum cannot change
+        any decision inside it.  Leaf maxima reduce in one vectorized
+        ``reduceat``; internal nodes combine children in a reversed scan
+        (children always follow their parent in the node arrays).
+        """
+        tree_values = np.asarray(values, dtype=float)[self.perm]
+        maxes = np.empty(self.num_nodes, dtype=float)
+        maxes[self._leaf_ids] = np.maximum.reduceat(tree_values, self._leaf_starts)
+        for node in range(self.num_nodes - 1, -1, -1):
+            left = self._lefts[node]
+            if left >= 0:
+                maxes[node] = max(maxes[left], maxes[self._rights[node]])
+        return maxes
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest(self, q: Any, metric: Optional[Metric] = None) -> Tuple[int, float]:
+        """``(row, distance)`` of the indexed point nearest to ``q``.
+
+        ``row`` indexes the original matrix.  Leaf distances flow through
+        ``metric`` (pass a counting wrapper for honest accounting);
+        subtrees are visited best-bound-first and pruned against the
+        incumbent.
+        """
+        kernel = self._base if metric is None else metric
+        q = np.asarray(q, dtype=float).ravel()
+        best_distance = np.inf
+        best_row = -1
+        Q = q[None, :]
+        stack: List[Tuple[float, int]] = [(float(self.lower_bounds(Q, 0)[0]), 0)]
+        while stack:
+            bound, node = stack.pop()
+            if bound * PRUNE_SLACK >= best_distance:
+                continue
+            if self.is_leaf(node):
+                start, stop = self._starts[node], self._stops[node]
+                distances = kernel.distances_to(q, self.points[start:stop])
+                position = int(np.argmin(distances))
+                if distances[position] < best_distance:
+                    best_distance = float(distances[position])
+                    best_row = int(self.perm[start + position])
+                continue
+            children = [int(self._lefts[node]), int(self._rights[node])]
+            bounds = [float(self.lower_bounds(Q, child)[0]) for child in children]
+            # Push the farther child first so the nearer one pops first.
+            for child_bound, child in sorted(zip(bounds, children), reverse=True):
+                if child_bound * PRUNE_SLACK < best_distance:
+                    stack.append((child_bound, child))
+        return best_row, best_distance
+
+    def range_count(self, q: Any, r: float, metric: Optional[Metric] = None) -> int:
+        """Number of indexed points within distance ``r`` of ``q`` (inclusive).
+
+        Nodes entirely outside the range are pruned without evaluating a
+        single distance; nodes entirely inside count wholesale; only the
+        boundary leaves compute exact distances (charged through
+        ``metric``).
+        """
+        kernel = self._base if metric is None else metric
+        q = np.asarray(q, dtype=float).ravel()
+        Q = q[None, :]
+        count = 0
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            lower = float(self.lower_bounds(Q, node)[0])
+            if lower * PRUNE_SLACK > r:
+                continue
+            upper = float(self.upper_bounds(Q, node)[0])
+            if upper * UPPER_SLACK <= r:
+                count += int(self._stops[node] - self._starts[node])
+                continue
+            if self.is_leaf(node):
+                start, stop = self._starts[node], self._stops[node]
+                distances = kernel.distances_to(q, self.points[start:stop])
+                count += int((distances <= r).sum())
+                continue
+            stack.append(int(self._lefts[node]))
+            stack.append(int(self._rights[node]))
+        return count
+
+    def min_distance_above(
+        self, Q: Any, threshold: float, metric: Optional[Metric] = None
+    ) -> np.ndarray:
+        """Decide per query whether ``min_j d(Q[i], points[j]) >= threshold``.
+
+        The batched screen primitive of the streaming candidates.  All
+        queries traverse together with a shared active set; a query drops
+        out as soon as one exact distance falls below the threshold, and a
+        subtree is skipped for the queries whose lower bound already
+        certifies every point inside it.
+        """
+        kernel = self._base if metric is None else metric
+        Q = np.asarray(Q, dtype=float)
+        if Q.ndim == 1:
+            Q = Q.reshape(1, -1)
+        ok = np.ones(Q.shape[0], dtype=bool)
+        stack: List[Tuple[int, np.ndarray]] = [(0, np.arange(Q.shape[0]))]
+        while stack:
+            node, active = stack.pop()
+            active = active[ok[active]]
+            if active.size == 0:
+                continue
+            lower = self.lower_bounds(Q[active], node)
+            active = active[lower * PRUNE_SLACK < threshold]
+            if active.size == 0:
+                continue
+            if self.is_leaf(node):
+                start, stop = self._starts[node], self._stops[node]
+                distances = kernel.pairwise(Q[active], self.points[start:stop])
+                ok[active[(distances < threshold).any(axis=1)]] = False
+                continue
+            stack.append((int(self._lefts[node]), active))
+            stack.append((int(self._rights[node]), active))
+        return ok
+
+    def screen_distances(
+        self, Q: np.ndarray, node_max: np.ndarray, metric: Optional[Metric] = None
+    ) -> np.ndarray:
+        """Exact distances wherever a per-point radius screen needs them.
+
+        Returns a ``(len(Q), n)`` matrix whose columns follow **tree
+        order** (``perm``); entries the screen provably does not need —
+        queries whose lower bound to a subtree meets that subtree's
+        ``node_max`` radius — stay ``+inf``.  Such an entry's true
+        distance is at least the radius of its point, so any
+        ``min >= radius`` decision over a column subset is unchanged by
+        the omission; the computed entries are bitwise equal to the
+        brute-force matrix.
+
+        ``node_max`` is the per-node radius aggregate from
+        :meth:`node_maxes` (cache it while the radii are unchanged).
+        """
+        kernel = self._base if metric is None else metric
+        Q = np.asarray(Q, dtype=float)
+        if Q.ndim == 1:
+            Q = Q.reshape(1, -1)
+        out = np.full((Q.shape[0], len(self)), np.inf)
+        stack: List[Tuple[int, np.ndarray]] = [(0, np.arange(Q.shape[0]))]
+        while stack:
+            node, active = stack.pop()
+            lower = self.lower_bounds(Q[active], node)
+            active = active[lower * PRUNE_SLACK < node_max[node]]
+            if active.size == 0:
+                continue
+            if self.is_leaf(node):
+                start, stop = self._starts[node], self._stops[node]
+                out[active[:, None], np.arange(start, stop)[None, :]] = kernel.pairwise(
+                    Q[active], self.points[start:stop]
+                )
+                continue
+            stack.append((int(self._lefts[node]), active))
+            stack.append((int(self._rights[node]), active))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpatialIndex(kind={self.kind!r}, n={len(self)}, "
+            f"nodes={self.num_nodes})"
+        )

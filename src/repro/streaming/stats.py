@@ -9,7 +9,7 @@ attached to every :class:`repro.core.result.RunResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -30,6 +30,11 @@ class StreamStats:
     stream_seconds: float = 0.0
     #: Wall-clock seconds spent in post-processing.
     postprocess_seconds: float = 0.0
+    #: Spatial-index kind the run's screens used (``"kd"``/``"ball"``), or
+    #: ``None`` for the brute-force kernels.  Informational only: indexed
+    #: runs produce identical solutions, so this records *how* the distance
+    #: counts above were achieved.
+    index_kind: Optional[str] = None
     #: Extra named counters (e.g. number of guesses, candidates balanced).
     extra: Dict[str, float] = field(default_factory=dict)
 
@@ -69,5 +74,7 @@ class StreamStats:
             "total_seconds": self.total_seconds,
             "average_update_seconds": self.average_update_seconds,
         }
+        if self.index_kind is not None:
+            data["index_kind"] = self.index_kind
         data.update(self.extra)
         return data

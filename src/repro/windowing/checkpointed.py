@@ -15,7 +15,7 @@ block length).  The incremental algorithm fixes exactly this.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.coreset import gmm_coreset
 from repro.data.element import Element
@@ -40,6 +40,9 @@ class CheckpointedWindowFDM(WindowedAlgorithm):
         Number of blocks the window is divided into; more blocks means a
         fresher summary (stale elements are dropped at block granularity)
         at the cost of proportionally more stored summaries.
+    index:
+        Optional spatial-index kind for the per-block GMM summaries (see
+        :class:`~repro.windowing.base.WindowedAlgorithm`).
     """
 
     #: Registry / reporting name of this algorithm.
@@ -51,8 +54,9 @@ class CheckpointedWindowFDM(WindowedAlgorithm):
         constraint: FairnessConstraint,
         window: int,
         blocks: int = 8,
+        index: Optional[str] = None,
     ) -> None:
-        super().__init__(metric, constraint, window, blocks)
+        super().__init__(metric, constraint, window, blocks, index=index)
         #: Completed blocks, oldest first: (start_index, summary elements).
         self._summaries: Deque[Tuple[int, List[Element]]] = deque()
         #: Elements of the block currently being filled.
@@ -77,6 +81,7 @@ class CheckpointedWindowFDM(WindowedAlgorithm):
             self.metric,
             self.constraint.total_size,
             per_group=True,
+            index=self._index_kind,
         )
         self._summaries.append((self._current_start, summary))
         self._current_block = []

@@ -88,6 +88,9 @@ class SlidingWindowFDM(WindowedAlgorithm):
         blocks mean finer coverage (at most ``w // blocks - 1`` of the
         oldest live elements are outside the pool) at the cost of
         proportionally more stored summaries and retirements.
+    index:
+        Optional spatial-index kind for the per-block GMM reductions (see
+        :class:`~repro.windowing.base.WindowedAlgorithm`).
     """
 
     #: Registry / reporting name of this algorithm.
@@ -96,8 +99,10 @@ class SlidingWindowFDM(WindowedAlgorithm):
     #: every block boundary; two is the smallest non-degenerate count.
     _min_blocks = 2
 
-    def __init__(self, metric, constraint, window, blocks: int = 8) -> None:
-        super().__init__(metric, constraint, window, blocks)
+    def __init__(
+        self, metric, constraint, window, blocks: int = 8, index=None
+    ) -> None:
+        super().__init__(metric, constraint, window, blocks, index=index)
         #: Summaries of the wholly-live sealed blocks, oldest first.
         #: Invariant: every block starts at or after the window start, and
         #: every sealed block boundary inside the window has an entry.
@@ -133,6 +138,7 @@ class SlidingWindowFDM(WindowedAlgorithm):
             self.metric,
             self.constraint.total_size,
             per_group=True,
+            index=self._index_kind,
         )
 
     def _seal_block(self) -> None:

@@ -1,0 +1,241 @@
+"""Differential harness: indexed runs are identical, on fewer evaluations.
+
+The spatial-index layer (:mod:`repro.index`) claims exactly two things,
+and this module is the gate for both:
+
+1. **Identical solutions.**  For every index-capable algorithm in the
+   registry, ``repro.solve(..., index="kd"/"ball")`` returns byte-identical
+   solution uids and the exact same diversity as the brute-force run with
+   otherwise identical configuration (same seed, same batch size).
+2. **Never more distance evaluations.**  The indexed run's
+   :class:`~repro.metrics.cached.CountingMetric` total is less than or
+   equal to the brute-force run's — and *strictly* less for the
+   designated screen-heavy configurations (SFDM1/SFDM2, where the
+   indexed screen replaces the charged union-dedup kernel).
+
+Algorithms that do not declare the ``index`` option must reject it
+loudly, ``index="auto"`` must degrade silently on metrics without box
+bounds while an explicit kind raises, and ``index="none"`` must be
+indistinguishable from not passing the option at all.
+
+The case list is registry-driven: registering a new index-capable
+algorithm automatically adds it to the differential grid.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datasets.synthetic import synthetic_blobs
+from repro.metrics.base import CallableMetric
+from repro.utils.errors import InvalidParameterError
+
+K = 6
+SEED = 7
+EPSILON = 0.1
+
+DATASETS = {
+    "blobs-m2": lambda: synthetic_blobs(n=140, m=2, seed=101),
+    "blobs-m3": lambda: synthetic_blobs(n=150, m=3, seed=202),
+}
+
+#: Non-index options per algorithm, applied identically to the brute and
+#: indexed runs.  The streaming algorithms get an explicit ``batch_size``:
+#: counts are only comparable at the same chunking (with ``index=`` and no
+#: batch size they would chunk at DEFAULT_INDEX_BATCH while the brute run
+#: stays scalar — still identical solutions, but incomparable accounting).
+OPTIONS = {
+    "SFDM1": {"batch_size": 64},
+    "SFDM2": {"batch_size": 64},
+    "StreamingDM": {"batch_size": 64},
+    "Coreset": {"num_parts": 3},
+    "SlidingWindowFDM": {"window": 80, "blocks": 4},
+    "WindowFDM": {"blocks": 4},
+}
+
+#: Configurations whose indexed run must save evaluations *strictly*: the
+#: indexed screen never charges the union-dedup memoisation the brute
+#: kernel charges, so any screened chunk at all yields a saving.
+STRICT_REDUCTION = {"SFDM1", "SFDM2"}
+
+
+def _index_capable():
+    return [
+        name
+        for name in repro.algorithm_names()
+        if "index" in repro.get_algorithm(name).capabilities.options
+    ]
+
+
+def _cases():
+    cases = []
+    for dataset_key, factory in DATASETS.items():
+        num_groups = factory().num_groups
+        for name in _index_capable():
+            if not repro.get_algorithm(name).capabilities.supports_groups(num_groups):
+                continue
+            for kind in ("kd", "ball"):
+                cases.append((dataset_key, name, kind))
+    return cases
+
+
+def _run(dataset_key, name, **extra):
+    result = repro.solve(
+        DATASETS[dataset_key](),
+        k=K,
+        algorithm=name,
+        epsilon=EPSILON,
+        seed=SEED,
+        **OPTIONS.get(name, {}),
+        **extra,
+    )
+    assert result.solution is not None, f"{name} found no solution on {dataset_key}"
+    return result
+
+
+_BRUTE_CACHE = {}
+
+
+def _brute(dataset_key, name):
+    key = (dataset_key, name)
+    if key not in _BRUTE_CACHE:
+        _BRUTE_CACHE[key] = _run(dataset_key, name)
+    return _BRUTE_CACHE[key]
+
+
+def test_registry_declares_expected_index_capable_set():
+    """The differential grid covers the algorithms the index layer wires."""
+    assert set(_index_capable()) == {
+        "StreamingDM",
+        "SFDM1",
+        "SFDM2",
+        "GMM",
+        "Coreset",
+        "WindowFDM",
+        "SlidingWindowFDM",
+    }
+
+
+@pytest.mark.parametrize(
+    "dataset_key,name,kind", _cases(), ids=[f"{d}/{n}/{k}" for d, n, k in _cases()]
+)
+def test_indexed_solution_identical_on_fewer_evaluations(dataset_key, name, kind):
+    brute = _brute(dataset_key, name)
+    indexed = _run(dataset_key, name, index=kind)
+
+    # Byte-identical solution: same uids in the same order, exact same
+    # diversity float (identical kernels on identical operands — no
+    # tolerance).
+    assert list(indexed.solution.uids) == list(brute.solution.uids)
+    assert indexed.solution.diversity == brute.solution.diversity
+    assert indexed.stats.elements_processed == brute.stats.elements_processed
+
+    # Never more counted distance evaluations.
+    assert (
+        indexed.stats.total_distance_computations
+        <= brute.stats.total_distance_computations
+    ), f"indexed {name} charged MORE evaluations than brute force"
+    if name in STRICT_REDUCTION:
+        assert (
+            indexed.stats.total_distance_computations
+            < brute.stats.total_distance_computations
+        ), f"indexed {name} saved nothing over brute force"
+
+
+@pytest.mark.parametrize("name", ["SFDM1", "SFDM2"])
+def test_streaming_stats_record_the_index_kind(name):
+    brute = _brute("blobs-m2", name)
+    indexed = _run("blobs-m2", name, index="kd")
+    assert indexed.stats.index_kind == "kd"
+    assert brute.stats.index_kind is None
+    assert "index_kind" not in brute.stats.as_dict()
+    assert indexed.stats.as_dict()["index_kind"] == "kd"
+
+
+def test_index_none_is_byte_identical_to_omitting_the_option():
+    brute = _brute("blobs-m2", "SFDM2")
+    explicit = _run("blobs-m2", "SFDM2", index="none")
+    assert list(explicit.solution.uids) == list(brute.solution.uids)
+    assert explicit.solution.diversity == brute.solution.diversity
+    assert (
+        explicit.stats.total_distance_computations
+        == brute.stats.total_distance_computations
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        name
+        for name in repro.algorithm_names()
+        if "index" not in repro.get_algorithm(name).capabilities.options
+    ],
+)
+def test_non_capable_algorithms_reject_the_option(name):
+    with pytest.raises(InvalidParameterError):
+        repro.solve(
+            DATASETS["blobs-m2"](), k=K, algorithm=name, seed=SEED, index="kd"
+        )
+
+
+def test_unknown_index_kind_rejected_before_running():
+    with pytest.raises(InvalidParameterError):
+        repro.solve(
+            DATASETS["blobs-m2"](), k=K, algorithm="SFDM2", seed=SEED, index="quadtree"
+        )
+
+
+class TestMetricCompatibility:
+    """auto degrades silently; an explicit kind on a boundless metric raises."""
+
+    @staticmethod
+    def _scalar_metric():
+        # A plain scalar-callable Euclidean: no batch kernels, no box
+        # bounds, so no index can be built over it.
+        return CallableMetric(
+            lambda x, y: float(np.linalg.norm(np.asarray(x) - np.asarray(y))),
+            name="scalar-euclidean",
+        )
+
+    def test_auto_degrades_silently(self):
+        dataset = synthetic_blobs(n=40, m=2, seed=303)
+        brute = repro.solve(
+            dataset, k=4, algorithm="GMM", seed=SEED, metric=self._scalar_metric()
+        )
+        auto = repro.solve(
+            dataset,
+            k=4,
+            algorithm="GMM",
+            seed=SEED,
+            metric=self._scalar_metric(),
+            index="auto",
+        )
+        assert list(auto.solution.uids) == list(brute.solution.uids)
+        assert (
+            auto.stats.total_distance_computations
+            == brute.stats.total_distance_computations
+        )
+
+    def test_explicit_kind_raises(self):
+        dataset = synthetic_blobs(n=40, m=2, seed=303)
+        with pytest.raises(InvalidParameterError):
+            repro.solve(
+                dataset,
+                k=4,
+                algorithm="GMM",
+                seed=SEED,
+                metric=self._scalar_metric(),
+                index="kd",
+            )
+
+
+def test_auto_picks_kd_on_an_indexable_metric():
+    brute = _brute("blobs-m2", "SFDM2")
+    auto = _run("blobs-m2", "SFDM2", index="auto")
+    kd = _run("blobs-m2", "SFDM2", index="kd")
+    assert list(auto.solution.uids) == list(brute.solution.uids)
+    assert (
+        auto.stats.total_distance_computations
+        == kd.stats.total_distance_computations
+    )
+    assert auto.stats.index_kind == "kd"

@@ -1,0 +1,303 @@
+"""Seeded randomized oracle tests for the spatial-index primitives.
+
+Every :class:`repro.index.SpatialIndex` query must agree with a
+brute-force NumPy oracle computed from the raw distance kernels — not
+approximately: ``nearest`` returns the same minimum distance,
+``range_count`` the same count, ``min_distance_above`` the same boolean
+vector, and the finite entries of ``screen_distances`` are *bitwise*
+equal to the full pairwise matrix (the omitted entries are provably
+irrelevant to any radius screen).  The grid covers dimensions 1 through
+16, both tree kinds, several Minkowski metrics, duplicate-heavy inputs,
+and the single-element degenerate tree.
+
+Alongside correctness, these tests pin the accounting contract: queries
+charge a :class:`~repro.metrics.cached.CountingMetric` for exactly the
+leaf distances they evaluate, never more than the brute-force count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.index import LEAF_SIZE, SpatialIndex, resolve_index_kind
+from repro.index.farthest import FarthestPointIndex
+from repro.metrics.base import CallableMetric
+from repro.metrics.cached import CachedMetric, CountingMetric
+from repro.metrics.vector import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    MinkowskiMetric,
+)
+from repro.utils.errors import InvalidParameterError
+
+METRICS = [
+    EuclideanMetric(),
+    ManhattanMetric(),
+    ChebyshevMetric(),
+    MinkowskiMetric(3),
+]
+KINDS = ("kd", "ball")
+DIMS = (1, 2, 5, 16)
+
+
+def _cloud(seed: int, n: int, dim: int, duplicates: bool = False) -> np.ndarray:
+    """A reproducible random point cloud, optionally with repeated rows."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(n, dim))
+    if duplicates:
+        # Overwrite a third of the rows with copies of earlier rows so
+        # median splits hit ties and degenerate (zero-width) dimensions.
+        source = rng.integers(0, n, size=n // 3)
+        target = rng.integers(0, n, size=n // 3)
+        matrix[target] = matrix[source]
+    return matrix
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("metric", METRICS, ids=lambda m: m.name)
+@pytest.mark.parametrize("dim", DIMS)
+class TestQueryOracles:
+    def test_nearest_matches_brute_force(self, kind, metric, dim):
+        matrix = _cloud(seed=dim, n=90, dim=dim)
+        tree = SpatialIndex(matrix, metric, kind=kind, leaf_size=8)
+        rng = np.random.default_rng(dim + 100)
+        for q in rng.normal(size=(12, dim)):
+            row, distance = tree.nearest(q)
+            brute = metric.distances_to(q, matrix)
+            assert distance == brute.min()
+            assert brute[row] == distance
+
+    def test_range_count_matches_brute_force(self, kind, metric, dim):
+        matrix = _cloud(seed=dim + 7, n=90, dim=dim)
+        tree = SpatialIndex(matrix, metric, kind=kind, leaf_size=8)
+        rng = np.random.default_rng(dim + 200)
+        for q in rng.normal(size=(8, dim)):
+            brute = metric.distances_to(q, matrix)
+            for r in (0.0, float(np.median(brute)), float(brute.max())):
+                assert tree.range_count(q, r) == int((brute <= r).sum())
+
+    def test_min_distance_above_matches_brute_force(self, kind, metric, dim):
+        matrix = _cloud(seed=dim + 13, n=80, dim=dim)
+        tree = SpatialIndex(matrix, metric, kind=kind, leaf_size=8)
+        rng = np.random.default_rng(dim + 300)
+        Q = rng.normal(size=(15, dim))
+        brute = metric.pairwise(Q, matrix).min(axis=1)
+        for threshold in (0.0, float(np.median(brute)), float(brute.max()) * 1.5):
+            np.testing.assert_array_equal(
+                tree.min_distance_above(Q, threshold), brute >= threshold
+            )
+
+    def test_screen_distances_finite_entries_bitwise_equal(self, kind, metric, dim):
+        matrix = _cloud(seed=dim + 19, n=70, dim=dim)
+        tree = SpatialIndex(matrix, metric, kind=kind, leaf_size=8)
+        rng = np.random.default_rng(dim + 400)
+        Q = rng.normal(size=(10, dim))
+        radii = rng.uniform(0.5, 2.0, size=len(matrix))
+        node_max = tree.node_maxes(radii)
+        screened = tree.screen_distances(Q, node_max)
+        full = metric.pairwise(Q, tree.points)
+        finite = np.isfinite(screened)
+        # Computed entries are bitwise equal to the brute-force kernel
+        # (same kernel, same operands — no tolerance needed).
+        assert np.array_equal(screened[finite], full[finite])
+        # Omitted entries are irrelevant: the true distance is at least
+        # the radius of the omitted point, so no "min >= radius" screen
+        # over any column subset can change its verdict.
+        tree_radii = radii[tree.perm]
+        omitted = ~finite
+        assert np.all(full[omitted] >= np.broadcast_to(tree_radii, full.shape)[omitted])
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestDegenerateInputs:
+    def test_single_element_tree(self, kind):
+        metric = EuclideanMetric()
+        tree = SpatialIndex(np.array([[1.0, 2.0]]), metric, kind=kind)
+        assert len(tree) == 1
+        assert tree.num_nodes == 1
+        row, distance = tree.nearest([1.0, 2.0])
+        assert (row, distance) == (0, 0.0)
+        assert tree.range_count([4.0, 6.0], 5.0) == 1
+        assert tree.range_count([4.0, 6.0], 4.9) == 0
+        np.testing.assert_array_equal(
+            tree.min_distance_above(np.array([[4.0, 6.0]]), 5.0), [True]
+        )
+
+    def test_all_duplicate_rows(self, kind):
+        metric = ManhattanMetric()
+        matrix = np.tile([3.0, -1.0, 0.5], (40, 1))
+        tree = SpatialIndex(matrix, metric, kind=kind, leaf_size=4)
+        # Zero-width boxes: the split stops, the root is a leaf.
+        assert tree.num_nodes == 1
+        assert tree.range_count([3.0, -1.0, 0.5], 0.0) == 40
+        row, distance = tree.nearest([4.0, -1.0, 0.5])
+        assert distance == 1.0
+
+    def test_duplicate_heavy_cloud_matches_oracle(self, kind):
+        metric = EuclideanMetric()
+        matrix = _cloud(seed=5, n=96, dim=3, duplicates=True)
+        tree = SpatialIndex(matrix, metric, kind=kind, leaf_size=8)
+        rng = np.random.default_rng(6)
+        Q = rng.normal(size=(10, 3))
+        brute = metric.pairwise(Q, matrix).min(axis=1)
+        threshold = float(np.median(brute))
+        np.testing.assert_array_equal(
+            tree.min_distance_above(Q, threshold), brute >= threshold
+        )
+        for q, expected in zip(Q, brute):
+            assert tree.nearest(q)[1] == expected
+
+    def test_empty_matrix_rejected(self, kind):
+        with pytest.raises(InvalidParameterError):
+            SpatialIndex(np.empty((0, 3)), EuclideanMetric(), kind=kind)
+
+    def test_one_dimensional_input_promoted(self, kind):
+        tree = SpatialIndex(np.array([0.0, 1.0, 5.0]), EuclideanMetric(), kind=kind)
+        assert tree.points.shape == (3, 1)
+        assert tree.nearest([4.0])[1] == 1.0
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_tree_order_is_a_permutation(kind):
+    matrix = _cloud(seed=11, n=130, dim=4, duplicates=True)
+    tree = SpatialIndex(matrix, EuclideanMetric(), kind=kind)
+    assert sorted(tree.perm) == list(range(130))
+    np.testing.assert_array_equal(tree.points, matrix[tree.perm])
+    # Leaves tile [0, n) contiguously in ascending order.
+    starts = tree._starts[tree._leaf_ids]
+    stops = tree._stops[tree._leaf_ids]
+    assert starts[0] == 0 and stops[-1] == 130
+    np.testing.assert_array_equal(starts[1:], stops[:-1])
+    assert all(stop - start <= LEAF_SIZE for start, stop in zip(starts, stops))
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_node_maxes_matches_per_node_reduction(kind):
+    matrix = _cloud(seed=21, n=75, dim=3)
+    tree = SpatialIndex(matrix, EuclideanMetric(), kind=kind, leaf_size=8)
+    rng = np.random.default_rng(22)
+    values = rng.uniform(size=75)
+    maxes = tree.node_maxes(values)
+    tree_values = values[tree.perm]
+    for node in range(tree.num_nodes):
+        block = tree_values[tree._starts[node] : tree._stops[node]]
+        assert maxes[node] == block.max()
+
+
+class TestAccounting:
+    """Queries charge exactly their leaf kernels — never the bound math."""
+
+    def test_bound_arithmetic_is_never_charged(self):
+        counting = CountingMetric(EuclideanMetric())
+        matrix = _cloud(seed=31, n=64, dim=3)
+        for kind in KINDS:
+            tree = SpatialIndex(matrix, counting, kind=kind, leaf_size=8)
+            counting.reset()
+            Q = np.random.default_rng(32).normal(size=(5, 3))
+            tree.lower_bounds(Q, 0)
+            tree.upper_bounds(Q, 0)
+            tree.node_maxes(np.ones(64))
+            assert counting.calls == 0
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_queries_never_exceed_brute_force(self, kind):
+        counting = CountingMetric(EuclideanMetric())
+        matrix = _cloud(seed=41, n=200, dim=2)
+        tree = SpatialIndex(matrix, counting, kind=kind, leaf_size=8)
+        rng = np.random.default_rng(42)
+        Q = rng.normal(size=(20, 2))
+
+        counting.reset()
+        for q in Q:
+            tree.nearest(q, metric=counting)
+        assert counting.calls <= Q.shape[0] * len(matrix)
+
+        counting.reset()
+        tree.min_distance_above(Q, 0.05, metric=counting)
+        indexed = counting.calls
+        assert indexed <= Q.shape[0] * len(matrix)
+        # At a tiny threshold almost everything prunes: the saving must
+        # be real, not merely non-negative.
+        assert indexed < Q.shape[0] * len(matrix) // 2
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_screen_distances_charges_exactly_the_finite_entries(self, kind):
+        counting = CountingMetric(EuclideanMetric())
+        matrix = _cloud(seed=51, n=150, dim=2)
+        tree = SpatialIndex(matrix, counting, kind=kind, leaf_size=8)
+        rng = np.random.default_rng(52)
+        Q = rng.normal(size=(8, 2))
+        radii = rng.uniform(0.1, 0.6, size=len(matrix))
+        node_max = tree.node_maxes(radii)
+        counting.reset()
+        screened = tree.screen_distances(Q, node_max, metric=counting)
+        # Pruning is per (query, leaf): every evaluated leaf block is
+        # charged wholesale, so the charge is at least the finite entries
+        # and at most the full matrix.
+        assert int(np.isfinite(screened).sum()) <= counting.calls
+        assert counting.calls < Q.shape[0] * len(matrix)
+
+
+class TestFarthestPointIndex:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("metric", METRICS, ids=lambda m: m.name)
+    def test_update_rounds_bitwise_equal_brute(self, kind, metric):
+        matrix = _cloud(seed=61, n=180, dim=3)
+        counting = CountingMetric(metric)
+        index = FarthestPointIndex(matrix, counting, kind=kind)
+        nearest = np.full(len(matrix), np.inf)
+        brute = np.full(len(matrix), np.inf)
+        rng = np.random.default_rng(62)
+        order = rng.permutation(len(matrix))[:15]
+        counting.reset()
+        for step, row in enumerate(order):
+            vector = matrix[row]
+            if step == 0:
+                index.seed(vector, nearest, counting)
+            else:
+                index.update(vector, nearest, counting)
+            brute = np.minimum(brute, metric.distances_to(vector, matrix))
+            np.testing.assert_array_equal(nearest, brute)
+        assert counting.calls <= len(order) * len(matrix)
+
+    def test_masked_entries_stay_masked(self):
+        # GMM marks selected rows with -1; pruned subtrees must not
+        # resurrect them and min-folds must keep them at -1.
+        matrix = _cloud(seed=71, n=60, dim=2)
+        metric = EuclideanMetric()
+        index = FarthestPointIndex(matrix, metric, kind="kd")
+        nearest = np.full(60, np.inf)
+        index.seed(matrix[0], nearest, metric)
+        nearest[[3, 7, 11]] = -1.0
+        index.update(matrix[20], nearest, metric)
+        assert (nearest[[3, 7, 11]] == -1.0).all()
+
+
+class TestKindResolution:
+    def test_none_and_missing_resolve_to_brute(self):
+        metric = EuclideanMetric()
+        assert resolve_index_kind(None, metric) is None
+        assert resolve_index_kind("none", metric) is None
+
+    def test_explicit_kinds_pass_through(self):
+        metric = EuclideanMetric()
+        assert resolve_index_kind("kd", metric) == "kd"
+        assert resolve_index_kind("ball", metric) == "ball"
+
+    def test_auto_degrades_silently_without_bounds(self):
+        scalar = CallableMetric(lambda x, y: 0.0)
+        assert resolve_index_kind("auto", scalar) is None
+        assert resolve_index_kind("auto", EuclideanMetric()) == "kd"
+
+    def test_explicit_kind_on_unsupported_metric_raises(self):
+        scalar = CallableMetric(lambda x, y: 0.0)
+        with pytest.raises(InvalidParameterError):
+            resolve_index_kind("kd", scalar)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_index_kind("quadtree", EuclideanMetric())
+
+    def test_wrappers_are_unwrapped(self):
+        wrapped = CountingMetric(CachedMetric(EuclideanMetric()))
+        assert resolve_index_kind("auto", wrapped) == "kd"

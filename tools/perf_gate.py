@@ -14,6 +14,12 @@ in ``BENCH_hot_paths.json`` at the repo root:
   allow a ``--tolerance`` factor (default 2.5x) for scheduler noise and
   slower-but-same-shaped hardware.
 
+The gate also covers the spatial-index layer (``benchmarks/bench_index.py``):
+the committed acceptance-scale ``index`` section must show indexed counts
+at or below the brute counts with at least one ≥ 2x reduction, and a fresh
+smoke run of the index bench must reproduce the ``index_smoke`` evaluation
+counts exactly (the accounting is deterministic for a fixed seed/scale).
+
 Exit status 0 means no regression (or hardware mismatch, reported); 1
 means a check failed.  Refresh the baseline by re-running
 ``make bench-hot`` (acceptance scale) and the smoke bench
@@ -34,6 +40,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_hot_paths.json"
 SMOKE_SECTION = "hot_paths_smoke"
+INDEX_SECTION = "index"
+INDEX_SMOKE_SECTION = "index_smoke"
 
 #: Wall-clock keys compared against the baseline (seconds, lower is better).
 TIMED_KEYS = (
@@ -42,16 +50,23 @@ TIMED_KEYS = (
     "gmm_store_s",
 )
 
+#: ``(brute, indexed)`` evaluation-count key pairs of the index bench
+#: sections; the indexed count must never exceed the brute count.
+INDEX_EVAL_PAIRS = (
+    ("sfdm2_brute_evals", "sfdm2_indexed_evals"),
+    ("gmm_brute_evals", "gmm_indexed_evals"),
+)
 
-def _run_smoke_bench(smoke_n: int, scratch_json: Path) -> dict:
-    """Run the hot-paths bench at smoke scale, writing to ``scratch_json``."""
+#: Acceptance bar on the committed acceptance-scale `index` section: at
+#: least one path must save this factor of counted distance evaluations.
+INDEX_TARGET_REDUCTION = 2.0
+
+
+def _run_bench(module: str, env_extra: dict, scratch_json: Path, section: str) -> dict:
+    """Run one bench module at smoke scale, writing to ``scratch_json``."""
     env = dict(os.environ)
-    env["REPRO_BENCH_HOT_N"] = str(smoke_n)
+    env.update(env_extra)
     env["REPRO_BENCH_JSON"] = str(scratch_json)
-    # The bench's own smoke-scale speedup assertion is redundant under the
-    # gate (which applies a tolerance-based ratio check below) and could
-    # fail on pure scheduler noise before any gating logic runs.
-    env["REPRO_BENCH_HOT_NO_ASSERT"] = "1"
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
@@ -59,7 +74,7 @@ def _run_smoke_bench(smoke_n: int, scratch_json: Path) -> dict:
         sys.executable,
         "-m",
         "pytest",
-        "benchmarks/bench_hot_paths.py",
+        module,
         "-q",
         "--no-header",
         "-p",
@@ -67,14 +82,42 @@ def _run_smoke_bench(smoke_n: int, scratch_json: Path) -> dict:
     ]
     completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
     if completed.returncode != 0:
-        raise SystemExit(f"perf gate: smoke bench failed (exit {completed.returncode})")
+        raise SystemExit(f"perf gate: {module} failed (exit {completed.returncode})")
     data = json.loads(scratch_json.read_text())
-    section = data.get(SMOKE_SECTION)
-    if section is None:
+    result = data.get(section)
+    if result is None:
         raise SystemExit(
-            f"perf gate: smoke bench did not record the {SMOKE_SECTION!r} section"
+            f"perf gate: {module} did not record the {section!r} section"
         )
-    return section
+    return result
+
+
+def _run_smoke_bench(smoke_n: int, scratch_json: Path) -> dict:
+    """Run the hot-paths bench at smoke scale, writing to ``scratch_json``."""
+    # The bench's own smoke-scale speedup assertion is redundant under the
+    # gate (which applies a tolerance-based ratio check below) and could
+    # fail on pure scheduler noise before any gating logic runs.
+    return _run_bench(
+        "benchmarks/bench_hot_paths.py",
+        {"REPRO_BENCH_HOT_N": str(smoke_n), "REPRO_BENCH_HOT_NO_ASSERT": "1"},
+        scratch_json,
+        SMOKE_SECTION,
+    )
+
+
+def _check_index_counts(section: dict, label: str, failures: list) -> None:
+    """The never-more-evaluations invariant over one index bench section."""
+    for brute_key, indexed_key in INDEX_EVAL_PAIRS:
+        brute = section.get(brute_key)
+        indexed = section.get(indexed_key)
+        if brute is None or indexed is None:
+            failures.append(f"{label}: missing {brute_key}/{indexed_key}")
+            continue
+        if int(indexed) > int(brute):
+            failures.append(
+                f"{label}: indexed charged MORE evaluations than brute "
+                f"({indexed_key}={indexed} > {brute_key}={brute})"
+            )
 
 
 def main(argv=None) -> int:
@@ -97,12 +140,52 @@ def main(argv=None) -> int:
             f"perf gate: baseline {BASELINE_PATH.name} has no {SMOKE_SECTION!r} section"
         )
 
+    index_baseline = baseline_data.get(INDEX_SECTION)
+    index_smoke_baseline = baseline_data.get(INDEX_SMOKE_SECTION)
+    if index_baseline is None or index_smoke_baseline is None:
+        raise SystemExit(
+            f"perf gate: baseline {BASELINE_PATH.name} is missing the "
+            f"{INDEX_SECTION!r}/{INDEX_SMOKE_SECTION!r} sections; run "
+            f"`make bench-index` and the smoke bench, then commit the JSON"
+        )
+
     with tempfile.TemporaryDirectory(prefix="perf-gate-") as scratch_dir:
         fresh = _run_smoke_bench(
             int(baseline.get("n", 8000)), Path(scratch_dir) / "bench.json"
         )
+        fresh_index = _run_bench(
+            "benchmarks/bench_index.py",
+            {"REPRO_BENCH_INDEX_N": str(index_smoke_baseline.get("n", 4000))},
+            Path(scratch_dir) / "bench_index.json",
+            INDEX_SMOKE_SECTION,
+        )
 
     failures = []
+
+    # --- Index layer -------------------------------------------------
+    # The committed acceptance-scale section carries the headline claim:
+    # strictly fewer evaluations everywhere, >= 2x on at least one path.
+    _check_index_counts(index_baseline, INDEX_SECTION, failures)
+    best_reduction = max(
+        float(index_baseline.get("sfdm2_reduction", 0.0)),
+        float(index_baseline.get("gmm_reduction", 0.0)),
+    )
+    if best_reduction < INDEX_TARGET_REDUCTION:
+        failures.append(
+            f"{INDEX_SECTION}: best recorded reduction {best_reduction:.2f}x "
+            f"below the {INDEX_TARGET_REDUCTION:g}x acceptance bar"
+        )
+    # The fresh smoke run re-proves the invariant on this machine, and its
+    # deterministic counts must match the committed smoke baseline exactly.
+    _check_index_counts(fresh_index, f"{INDEX_SMOKE_SECTION} (fresh)", failures)
+    for key in ("sfdm2_brute_evals", "sfdm2_indexed_evals",
+                "gmm_brute_evals", "gmm_indexed_evals"):
+        expected = index_smoke_baseline.get(key)
+        actual = fresh_index.get(key)
+        if expected is not None and actual != expected:
+            failures.append(
+                f"{INDEX_SMOKE_SECTION}.{key} changed: {actual} != baseline {expected}"
+            )
 
     # Accounting is deterministic for a fixed seed/scale on any hardware.
     expected_calls = baseline.get("stream_distance_computations")
@@ -150,7 +233,8 @@ def main(argv=None) -> int:
     print(
         "perf gate: OK "
         f"(ingest {fresh_ratio:.2f}x vs baseline {base_ratio:.2f}x, "
-        f"store ingest {float(fresh.get('sfdm2_ingest_store_s', 0.0)):.3f}s)"
+        f"store ingest {float(fresh.get('sfdm2_ingest_store_s', 0.0)):.3f}s, "
+        f"index reduction {best_reduction:.2f}x at acceptance scale)"
     )
     return 0
 
