@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast cov golden bench-smoke bench-batch bench-parallel bench-hot bench-window bench-index perf-gate docs-check api-check api-surface ci
+.PHONY: test test-fast cov golden bench-smoke bench-batch bench-parallel bench-hot bench-window bench-index bench-obs trace-smoke perf-gate docs-check api-check api-surface ci
 
 ## Run the full test suite (tier-1 gate).
 test:
@@ -36,6 +36,7 @@ bench-smoke:
 	REPRO_BENCH_PARALLEL_N=4000 $(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py -q -s
 	REPRO_BENCH_WINDOW_N=6000 $(PYTHON) -m pytest benchmarks/bench_window.py -q -s
 	REPRO_BENCH_INDEX_N=4000 $(PYTHON) -m pytest benchmarks/bench_index.py -q -s
+	REPRO_BENCH_OBS_N=8000 $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
 	REPRO_BENCH_N=500 $(PYTHON) -m pytest benchmarks/bench_fig7_time_vs_k.py -q -s
 
 ## Acceptance-scale batch engine benchmark (SFDM2, n = 50_000, >= 5x).
@@ -69,6 +70,23 @@ bench-window:
 bench-index:
 	$(PYTHON) -m pytest benchmarks/bench_index.py -q -s
 
+## Acceptance-scale observability-overhead benchmark (disabled tracing
+## path <= 2% of SFDM2 ingest at n = 100_000; traced and untraced runs
+## byte-identical). Refreshes the `obs_overhead` section of
+## BENCH_hot_paths.json.
+bench-obs:
+	$(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
+
+## Trace smoke test: run one traced SFDM2 solve through the CLI and
+## validate the emitted JSONL against the span schema + taxonomy
+## (tools/check_trace.py).
+trace-smoke:
+	$(PYTHON) -m repro run --dataset synthetic-m2 --algorithm SFDM2 -k 6 \
+		--n 400 --batch-size 64 --trace-out /tmp/repro_trace_smoke.jsonl >/dev/null
+	$(PYTHON) tools/check_trace.py /tmp/repro_trace_smoke.jsonl \
+		--expect-span run --expect-span ingest --expect-span ingest.chunk \
+		--expect-span postprocess
+
 ## Perf-regression gate: fresh smoke run of the hot-path bench compared
 ## against the committed BENCH_hot_paths.json baseline (wall-clock checks
 ## are hardware-gated; accounting and speedup-ratio checks always apply).
@@ -97,6 +115,6 @@ api-surface:
 	$(PYTHON) tools/check_api_surface.py --write
 
 ## One-command PR gate: tests, docstring completeness, API-surface drift,
-## the line-coverage gate, the smoke-scale benchmark pass, and the
-## perf-regression gate.
-ci: test docs-check api-check cov bench-smoke perf-gate
+## the line-coverage gate, the smoke-scale benchmark pass, the traced-run
+## schema smoke, and the perf-regression gate.
+ci: test docs-check api-check cov bench-smoke trace-smoke perf-gate

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Optional
 
+from repro import obs
 from repro.api.registry import RunContext, register_algorithm
 from repro.baselines.fair_flow import fair_flow
 from repro.baselines.fair_gmm import fair_gmm
@@ -37,6 +38,8 @@ from repro.utils.errors import InvalidParameterError
 from repro.windowing import CheckpointedWindowFDM, SlidingWindowFDM
 from repro.utils.timer import Timer
 from repro.utils.validation import require_positive_int
+
+_LOGGER = obs.get_logger("api")
 
 #: Options shared by every streaming-ladder algorithm.
 _STREAMING_OPTIONS = ("batch_size", "warmup_size", "distance_bounds", "index")
@@ -304,7 +307,17 @@ def _make_windowed(
             f"{factory.name} needs a window length; pass window= (sessions) or "
             f"provide sized data (runs default to window = dataset size)"
         )
-    blocks = min(context.option("blocks", 8), window)
+    requested_blocks = context.option("blocks", 8)
+    blocks = min(requested_blocks, window)
+    if blocks != requested_blocks:
+        _LOGGER.warning(
+            "%s: blocks=%d exceeds window=%d; clamping to %d (one block per "
+            "window element)",
+            factory.name,
+            requested_blocks,
+            window,
+            blocks,
+        )
     return factory(
         metric=context.metric if metric is None else metric,
         constraint=context.require_constraint(),

@@ -33,12 +33,12 @@ from __future__ import annotations
 import copy
 import os
 import pickle
-import time
 from pathlib import Path
 from typing import Any, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.base import StreamingAlgorithm
 from repro.core.result import RunResult
 from repro.data.element import Element
@@ -59,12 +59,32 @@ CHECKPOINT_VERSION = 1
 
 
 class SessionBase:
-    """Shared session plumbing: element coercion, uids, and checkpointing."""
+    """Shared session plumbing: element coercion, uids, and checkpointing.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    trace:
+        Optional tracing sink spec (a :class:`repro.obs.Sink`,
+        ``"stderr"``, ``"memory"``, or a JSONL file path).  Sessions are
+        long-lived, so this configures the *process-wide* tracer via
+        :func:`repro.obs.configure` rather than scoping it to one call;
+        pass ``trace=`` to at most one constructor (the last one wins).
+    """
+
+    def __init__(self, trace: Any = None) -> None:
         self._offered = 0
         self._next_uid = 0
-        self._stream_seconds = 0.0
+        #: Accumulated wall-clock spent ingesting, shared by every session
+        #: kind (one :class:`~repro.utils.timer.Timer` instead of ad-hoc
+        #: ``perf_counter`` bookkeeping per subclass).
+        self._stream_timer = Timer()
+        if trace is not None:
+            obs.configure(sink=trace, enabled=True)
+
+    @property
+    def _stream_seconds(self) -> float:
+        """Total wall-clock seconds spent inside ``_offer_many``."""
+        return self._stream_timer.elapsed
 
     # ------------------------------------------------------------------
     # Ingestion surface
@@ -165,6 +185,12 @@ class SessionBase:
         with open(tmp, "wb") as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
+        obs.event(
+            "session.checkpoint",
+            algorithm=self.algorithm_name,
+            path=str(path),
+            offered=self._offered,
+        )
         return path
 
     @property
@@ -192,6 +218,12 @@ def resume(path: Union[str, os.PathLike]) -> SessionBase:
     session = payload.get("session")
     if not isinstance(session, SessionBase):
         raise InvalidParameterError(f"{path} does not contain a session object")
+    obs.event(
+        "session.resume",
+        algorithm=payload["algorithm"],
+        path=str(path),
+        offered=session.elements_offered,
+    )
     return session
 
 
@@ -223,8 +255,8 @@ class StreamingSession(SessionBase):
     is unaffected by how often (or whether) the session is queried.
     """
 
-    def __init__(self, algorithm: StreamingAlgorithm) -> None:
-        super().__init__()
+    def __init__(self, algorithm: StreamingAlgorithm, trace: Any = None) -> None:
+        super().__init__(trace=trace)
         if not isinstance(algorithm, StreamingAlgorithm):
             raise InvalidParameterError(
                 f"StreamingSession drives StreamingAlgorithm instances, "
@@ -261,20 +293,22 @@ class StreamingSession(SessionBase):
     # Ingestion
     # ------------------------------------------------------------------
     def _offer_many(self, chunk: List[Element]) -> None:
-        started = time.perf_counter()
-        self._track_uids(chunk)
-        if self._ladder is None:
-            self._pending.extend(chunk)
-            if len(self._pending) >= self._algorithm.warmup_size:
-                self._activate_from_pending()
-        elif self._batched:
-            self._pending.extend(chunk)
-            self._drain(final=False)
-        else:
-            self._algorithm._ingest_elements(
-                chunk, self._blind, self._specific, self._stats
-            )
-        self._stream_seconds += time.perf_counter() - started
+        obs.event(
+            "session.offer", algorithm=self._algorithm.name, count=len(chunk)
+        )
+        with self._stream_timer.measure():
+            self._track_uids(chunk)
+            if self._ladder is None:
+                self._pending.extend(chunk)
+                if len(self._pending) >= self._algorithm.warmup_size:
+                    self._activate_from_pending()
+            elif self._batched:
+                self._pending.extend(chunk)
+                self._drain(final=False)
+            else:
+                self._algorithm._ingest_elements(
+                    chunk, self._blind, self._specific, self._stats
+                )
 
     def _activate(self, bounds) -> None:
         """Build the guess ladder and its candidates for ``bounds``."""
@@ -359,8 +393,13 @@ class StreamingSession(SessionBase):
             raise EmptyStreamError(
                 f"{self._algorithm.name} session received no elements"
             )
-        snapshot = copy.deepcopy(self)
-        return snapshot._finalize()
+        with obs.span(
+            "session.solution",
+            algorithm=self._algorithm.name,
+            offered=self._offered,
+        ):
+            snapshot = copy.deepcopy(self)
+            return snapshot._finalize()
 
     def _finalize(self) -> RunResult:
         """Flush, extract, and package the result (runs on a snapshot)."""
@@ -383,6 +422,7 @@ class StreamingSession(SessionBase):
         stats.stream_distance_computations = stream_calls
         stats.postprocess_distance_computations = self._counting.calls - stream_calls
         stats.record_stored(stored)
+        stats.publish(self._algorithm.name)
 
         if best is None:
             raise NoFeasibleSolutionError(self._algorithm._infeasible_message())
@@ -415,8 +455,8 @@ class WindowSession(SessionBase):
     session-capable algorithm uniformly.
     """
 
-    def __init__(self, algorithm: Any) -> None:
-        super().__init__()
+    def __init__(self, algorithm: Any, trace: Any = None) -> None:
+        super().__init__(trace=trace)
         required_attrs = (
             "process",
             "solution",
@@ -451,13 +491,15 @@ class WindowSession(SessionBase):
         return metric if isinstance(metric, CountingMetric) else None
 
     def _offer_many(self, chunk: List[Element]) -> None:
-        started = time.perf_counter()
-        self._track_uids(chunk)
-        for element in chunk:
-            self._algorithm.process(element)
-            self._stats.elements_processed += 1
-            self._stats.record_stored(self._algorithm.stored_elements)
-        self._stream_seconds += time.perf_counter() - started
+        obs.event(
+            "session.offer", algorithm=self.algorithm_name, count=len(chunk)
+        )
+        with self._stream_timer.measure():
+            self._track_uids(chunk)
+            for element in chunk:
+                self._algorithm.process(element)
+                self._stats.elements_processed += 1
+                self._stats.record_stored(self._algorithm.stored_elements)
 
     def solution(self) -> RunResult:
         """The current windowed solution as a RunResult.
@@ -474,7 +516,11 @@ class WindowSession(SessionBase):
         counting = self._counting
         calls_before = counting.calls if counting is not None else 0
         timer = Timer()
-        with timer.measure():
+        with obs.span(
+            "session.solution",
+            algorithm=self.algorithm_name,
+            offered=self._offered,
+        ), timer.measure():
             solution = self._algorithm.solution()
         stats = copy.copy(self._stats)
         stats.extra = dict(self._stats.extra)
@@ -485,6 +531,7 @@ class WindowSession(SessionBase):
             stats.stream_distance_computations = calls_before - self._query_calls
             stats.postprocess_distance_computations = query_cost
             self._query_calls += query_cost
+        stats.publish(self.algorithm_name)
         return RunResult(
             algorithm=self.algorithm_name,
             solution=solution,

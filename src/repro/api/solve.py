@@ -34,6 +34,7 @@ from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.api.registry import RegisteredAlgorithm, RunContext, get_algorithm
 from repro.data.store import ElementStore
 from repro.datasets.spec import DatasetSpec
@@ -108,6 +109,13 @@ class SolveSpec:
         Algorithm-specific options (``batch_size``, ``shards``,
         ``window``, ...), validated eagerly against the registry entry's
         declared option names.
+    trace:
+        Optional tracing sink spec — a :class:`repro.obs.Sink` instance,
+        ``"stderr"``, ``"memory"``, or a JSONL file path.  For ``solve``
+        the tracer is scoped to the call (the previous tracer
+        configuration is restored afterwards); for sessions it configures
+        the process-wide tracer, since the session outlives the call.
+        ``None`` (the default) leaves tracing exactly as configured.
     """
 
     data: Any = None
@@ -120,6 +128,7 @@ class SolveSpec:
     epsilon: float = 0.1
     seed: Optional[int] = None
     options: Dict[str, Any] = field(default_factory=dict)
+    trace: Any = None
 
 
 @dataclass
@@ -333,7 +342,11 @@ def solve(data: Any = None, k: Optional[int] = None, **kwargs: Any) -> Any:
         _stream_factory=resolved.stream_factory,
         size=resolved.size,
     )
-    return entry.run(context)
+    if spec.trace is None:
+        return entry.run(context)
+    with obs.tracing(spec.trace):
+        with obs.span("solve", algorithm=entry.name, k=int(k_value), n=resolved.size):
+            return entry.run(context)
 
 
 def _spec_from_kwargs(data: Any, k: Optional[int], kwargs: Dict[str, Any]) -> SolveSpec:
@@ -341,7 +354,7 @@ def _spec_from_kwargs(data: Any, k: Optional[int], kwargs: Dict[str, Any]) -> So
     spec_fields = {
         name: kwargs.pop(name)
         for name in ("groups", "algorithm", "metric", "constraint", "fairness",
-                     "epsilon", "seed")
+                     "epsilon", "seed", "trace")
         if name in kwargs
     }
     explicit_options = kwargs.pop("options", None)
@@ -441,6 +454,10 @@ def open_session(spec: Optional[SolveSpec] = None, **kwargs: Any) -> Any:
         _stream_factory=resolved.stream_factory if resolved else None,
         size=resolved.size if resolved else None,
     )
+    if spec.trace is not None:
+        # Sessions outlive the call, so the tracer cannot be scoped to it:
+        # install the sink process-wide (mirrors the session constructors).
+        obs.configure(sink=spec.trace, enabled=True)
     session = entry.session_factory(context)
     if resolved is not None:
         session.offer_batch(context.stream())

@@ -36,9 +36,11 @@ capabilities::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.api.registry import algorithm_names, algorithms, get_algorithm
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.evaluation.harness import (
@@ -212,6 +214,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "(default: brute-force kernels)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="emit hierarchical span traces to stderr while the command runs",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write span traces as JSON lines to PATH (implies tracing)",
+    )
 
 
 _COLUMNS = [
@@ -301,12 +314,28 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_scope(args: argparse.Namespace):
+    """The tracing context the parsed flags ask for (no-op by default).
+
+    ``--trace-out PATH`` routes spans to a JSONL file; ``--trace`` alone
+    renders them on stderr.  Commands without the common flags (e.g.
+    ``datasets``) simply never set the attributes.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        return obs.tracing(trace_out)
+    if getattr(args, "trace", False):
+        return obs.tracing("stderr")
+    return contextlib.nullcontext()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        with _trace_scope(args):
+            return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -15,6 +15,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.candidate import Candidate
 from repro.core.guesses import GuessLadder
 from repro.core.result import RunResult
@@ -226,31 +227,38 @@ class StreamingAlgorithm:
         NoFeasibleSolutionError
             If no candidate state admits a (fair) solution.
         """
-        counting = self._counting_metric()
-        stats, stages = self._new_stats()
-        with stages.stage("stream"):
-            bounds, plan = self._resolve_bounds(stream, counting)
-            ladder = self._build_ladder(bounds)
-            blind, specific = self._make_candidates(ladder, counting)
-            self._ingest(plan, blind, specific, stats, counting)
-        stream_calls = counting.calls
+        with obs.span("run", algorithm=self.name) as run_span:
+            counting = self._counting_metric()
+            stats, stages = self._new_stats()
+            with stages.stage("stream"), obs.span("ingest", algorithm=self.name):
+                bounds, plan = self._resolve_bounds(stream, counting)
+                ladder = self._build_ladder(bounds)
+                blind, specific = self._make_candidates(ladder, counting)
+                self._ingest(plan, blind, specific, stats, counting)
+            stream_calls = counting.calls
 
-        with stages.stage("postprocess"):
-            best, extract_stats = self._extract(ladder, blind, specific, counting)
+            with stages.stage("postprocess"), obs.span("postprocess", algorithm=self.name):
+                best, extract_stats = self._extract(ladder, blind, specific, counting)
 
-        stored = len(self._stored_elements(blind, specific))
-        stats.extra["num_guesses"] = len(ladder)
-        stats.extra.update(extract_stats)
-        self._finalize_stats(stats, stages, counting, stream_calls, stored)
+            stored = len(self._stored_elements(blind, specific))
+            stats.extra["num_guesses"] = len(ladder)
+            stats.extra.update(extract_stats)
+            self._finalize_stats(stats, stages, counting, stream_calls, stored)
+            stats.publish(self.name)
+            run_span.set(
+                elements=stats.elements_processed,
+                distance_evaluations=counting.calls,
+                stored=stored,
+            )
 
-        if best is None:
-            raise NoFeasibleSolutionError(self._infeasible_message())
-        return RunResult(
-            algorithm=self.name,
-            solution=best,
-            stats=stats,
-            params=self._run_params(),
-        )
+            if best is None:
+                raise NoFeasibleSolutionError(self._infeasible_message())
+            return RunResult(
+                algorithm=self.name,
+                solution=best,
+                stats=stats,
+                params=self._run_params(),
+            )
 
     # ------------------------------------------------------------------
     # Subclass hooks
@@ -454,24 +462,35 @@ class StreamingAlgorithm:
         levels = len(blind)
         for chunk in iter_batches(elements, size):
             stats.elements_processed += len(chunk)
-            vectors = np.asarray([element.vector for element in chunk])
-            by_group: Dict[int, Tuple[List[Element], np.ndarray]] = {}
+            with obs.span("ingest.chunk", size=len(chunk)):
+                self._offer_chunk(chunk, blind, specific, levels)
+
+    @staticmethod
+    def _offer_chunk(
+        chunk: List[Element],
+        blind: List[Candidate],
+        specific: Optional[List[Dict[int, Candidate]]],
+        levels: int,
+    ) -> None:
+        """Offer one object-path chunk to every guess level's candidates."""
+        vectors = np.asarray([element.vector for element in chunk])
+        by_group: Dict[int, Tuple[List[Element], np.ndarray]] = {}
+        if specific is not None:
+            indices_by_group: Dict[int, List[int]] = {}
+            for i, element in enumerate(chunk):
+                indices_by_group.setdefault(element.group, []).append(i)
+            by_group = {
+                group: ([chunk[i] for i in indices], vectors[indices])
+                for group, indices in indices_by_group.items()
+            }
+        for index in range(levels):
+            blind[index].offer_batch(chunk, vectors)
             if specific is not None:
-                indices_by_group: Dict[int, List[int]] = {}
-                for i, element in enumerate(chunk):
-                    indices_by_group.setdefault(element.group, []).append(i)
-                by_group = {
-                    group: ([chunk[i] for i in indices], vectors[indices])
-                    for group, indices in indices_by_group.items()
-                }
-            for index in range(levels):
-                blind[index].offer_batch(chunk, vectors)
-                if specific is not None:
-                    per_group = specific[index]
-                    for group, (sub_elements, sub_vectors) in by_group.items():
-                        candidate = per_group.get(group)
-                        if candidate is not None:
-                            candidate.offer_batch(sub_elements, sub_vectors)
+                per_group = specific[index]
+                for group, (sub_elements, sub_vectors) in by_group.items():
+                    candidate = per_group.get(group)
+                    if candidate is not None:
+                        candidate.offer_batch(sub_elements, sub_vectors)
 
     def _make_screen(self, candidates: List[Candidate]) -> "_UnionScreen":
         """One chunk screen over ``candidates``: indexed when requested.
@@ -535,33 +554,34 @@ class StreamingAlgorithm:
             stats.elements_processed += stop - start
             if blind_screen.exhausted and not group_screens:
                 continue
-            if order is None:
-                rows = np.arange(start, stop, dtype=np.int64)
-                vectors = features[start:stop]
-                codes = group_column[start:stop]
-            else:
-                rows = order[start:stop]
-                vectors = features[rows]
-                codes = group_column[rows]
+            with obs.span("ingest.chunk", start=start, size=stop - start):
+                if order is None:
+                    rows = np.arange(start, stop, dtype=np.int64)
+                    vectors = features[start:stop]
+                    codes = group_column[start:stop]
+                else:
+                    rows = order[start:stop]
+                    vectors = features[rows]
+                    codes = group_column[rows]
 
-            if not blind_screen.exhausted:
-                blind_screen.process(metric, store, rows, vectors)
-            if group_screens:
-                drained = []
-                for group, screen in group_screens.items():
-                    member_positions = np.nonzero(codes == group)[0]
-                    if member_positions.size == 0:
-                        continue
-                    screen.process(
-                        metric,
-                        store,
-                        rows[member_positions],
-                        vectors[member_positions],
-                    )
-                    if screen.exhausted:
-                        drained.append(group)
-                for group in drained:
-                    del group_screens[group]
+                if not blind_screen.exhausted:
+                    blind_screen.process(metric, store, rows, vectors)
+                if group_screens:
+                    drained = []
+                    for group, screen in group_screens.items():
+                        member_positions = np.nonzero(codes == group)[0]
+                        if member_positions.size == 0:
+                            continue
+                        screen.process(
+                            metric,
+                            store,
+                            rows[member_positions],
+                            vectors[member_positions],
+                        )
+                        if screen.exhausted:
+                            drained.append(group)
+                    for group in drained:
+                        del group_screens[group]
 
     @staticmethod
     def _new_stats() -> Tuple[StreamStats, StageTimer]:

@@ -18,6 +18,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro import obs
 from repro.data.store import store_rows_of
 from repro.fairness.constraints import FairnessConstraint
 from repro.index.tree import resolve_index_kind
@@ -209,6 +210,18 @@ def greedy_fair_fill(
     and therefore the selection, stays bitwise identical on fewer counted
     evaluations.
     """
+    with obs.span("postprocess.fill", pool=len(pool), k=constraint.total_size):
+        return _greedy_fair_fill(pool, constraint, metric, initial, index)
+
+
+def _greedy_fair_fill(
+    pool: Sequence[Element],
+    constraint: FairnessConstraint,
+    metric: Metric,
+    initial: Optional[Sequence[Element]],
+    index: Optional[str],
+) -> List[Element]:
+    """Implementation behind :func:`greedy_fair_fill` (span-wrapped there)."""
     index = resolve_index_kind(index, metric)
     selection: List[Element] = list(initial) if initial else []
     selected_uids = {element.uid for element in selection}

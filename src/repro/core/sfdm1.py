@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.base import CandidateState, StreamingAlgorithm
 from repro.core.candidate import Candidate
 from repro.core.guesses import GuessLadder
@@ -124,14 +125,15 @@ class SFDM1(StreamingAlgorithm):
             ):
                 continue
             eligible_count += 1
-            balanced = balance_by_swapping(
-                blind=blind[index].elements,
-                group_candidates={
-                    group: specific[index][group].elements for group in groups
-                },
-                constraint=self.constraint,
-                metric=metric,
-            )
+            with obs.span("sfdm1.balance", level=index, mu=float(ladder[index])):
+                balanced = balance_by_swapping(
+                    blind=blind[index].elements,
+                    group_candidates={
+                        group: specific[index][group].elements for group in groups
+                    },
+                    constraint=self.constraint,
+                    metric=metric,
+                )
             candidate_solution = FairSolution(balanced, metric, self.constraint)
             if not candidate_solution.is_fair:
                 continue
@@ -140,9 +142,10 @@ class SFDM1(StreamingAlgorithm):
 
         if best is None and self.fallback:
             pool = self._stored_elements(blind, specific)
-            filled = greedy_fair_fill(
-                pool, self.constraint, metric, index=self._index_kind
-            )
+            with obs.span("sfdm1.fallback_fill", pool=len(pool)):
+                filled = greedy_fair_fill(
+                    pool, self.constraint, metric, index=self._index_kind
+                )
             candidate_solution = FairSolution(filled, metric, self.constraint)
             if candidate_solution.is_fair:
                 best = candidate_solution

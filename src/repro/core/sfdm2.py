@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.base import CandidateState, StreamingAlgorithm
 from repro.core.candidate import Candidate
 from repro.core.guesses import GuessLadder
@@ -131,13 +132,14 @@ class SFDM2(StreamingAlgorithm):
             ):
                 continue
             eligible_count += 1
-            solution_elements = self._postprocess_guess(
-                mu=ladder[index],
-                blind=blind[index],
-                specific=specific[index],
-                metric=metric,
-                m=m,
-            )
+            with obs.span("sfdm2.guess", level=index, mu=float(ladder[index])):
+                solution_elements = self._postprocess_guess(
+                    mu=ladder[index],
+                    blind=blind[index],
+                    specific=specific[index],
+                    metric=metric,
+                    m=m,
+                )
             if solution_elements is None:
                 continue
             candidate_solution = FairSolution(solution_elements, metric, self.constraint)
@@ -148,9 +150,10 @@ class SFDM2(StreamingAlgorithm):
 
         if best is None and self.fallback:
             pool = self._stored_elements(blind, specific)
-            filled = greedy_fair_fill(
-                pool, self.constraint, metric, index=self._index_kind
-            )
+            with obs.span("sfdm2.fallback_fill", pool=len(pool)):
+                filled = greedy_fair_fill(
+                    pool, self.constraint, metric, index=self._index_kind
+                )
             candidate_solution = FairSolution(filled, metric, self.constraint)
             if candidate_solution.is_fair:
                 best = candidate_solution

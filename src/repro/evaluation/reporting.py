@@ -113,3 +113,58 @@ def write_csv(
         for row in rows:
             writer.writerow(row)
     return path
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load a JSONL trace written by :class:`repro.obs.JsonlSink`.
+
+    Parameters
+    ----------
+    path:
+        The trace file (one JSON record per line; blank lines skipped).
+
+    Returns
+    -------
+    list of dict
+        The span/event records in file (completion) order.
+    """
+    import json
+
+    records: List[Dict[str, object]] = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records
+
+
+def summarize_trace(
+    records: Iterable[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Aggregate trace records into per-name rows for :func:`format_table`.
+
+    One row per span/event name: occurrence count, total and mean span
+    duration in milliseconds (zero for events), sorted by total duration
+    descending — the quickest way to see where a traced run spent its
+    time::
+
+        rows = summarize_trace(load_trace("run.jsonl"))
+        print(format_table(rows, columns=["name", "count", "total_ms", "mean_ms"]))
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        name = str(record.get("name"))
+        entry = totals.setdefault(name, {"count": 0, "total_ms": 0.0})
+        entry["count"] += 1
+        if record.get("type") == "span":
+            entry["total_ms"] += float(record.get("dur", 0.0)) * 1000.0
+    rows = [
+        {
+            "name": name,
+            "count": int(entry["count"]),
+            "total_ms": entry["total_ms"],
+            "mean_ms": entry["total_ms"] / entry["count"],
+        }
+        for name, entry in totals.items()
+    ]
+    rows.sort(key=lambda row: row["total_ms"], reverse=True)
+    return rows

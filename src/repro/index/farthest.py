@@ -25,6 +25,7 @@ from typing import Any, List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.index.tree import PRUNE_SLACK, SpatialIndex
 from repro.metrics.base import Metric
 
@@ -68,21 +69,31 @@ class FarthestPointIndex:
         stack: List[int] = [0]
         starts, stops = tree._starts, tree._stops
         lefts, rights = tree._lefts, tree._rights
+        pruned = 0
+        leaves = 0
         while stack:
             node = stack.pop()
             lower = float(tree.lower_bounds(Q, node)[0])
             if lower * PRUNE_SLACK >= node_max[node]:
                 # Every distance in the subtree is >= lower >= its current
                 # nearest value: the minimum cannot move.
+                pruned += 1
                 continue
             if lefts[node] < 0:
                 start, stop = starts[node], stops[node]
                 distances = metric.distances_to(vector, tree.points[start:stop])
                 rows = tree.perm[start:stop]
                 nearest[rows] = np.minimum(nearest[rows], distances)
+                leaves += 1
                 continue
             stack.append(int(lefts[node]))
             stack.append(int(rights[node]))
+        obs.event(
+            "index.farthest_update",
+            kind=tree.kind,
+            subtrees_pruned=pruned,
+            leaves_evaluated=leaves,
+        )
 
     def seed(self, vector: Any, nearest: np.ndarray, metric: Metric) -> None:
         """Initialise ``nearest`` from the first center (full sweep).

@@ -36,8 +36,11 @@ from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.metrics.base import Metric, unwrap_metric
 from repro.utils.errors import InvalidParameterError
+
+_LOGGER = obs.get_logger("index")
 
 #: Index kinds accepted by the ``index=`` option everywhere it is plumbed.
 INDEX_KINDS = ("kd", "ball", "none", "auto")
@@ -63,10 +66,11 @@ def resolve_index_kind(index: Optional[str], metric: Metric) -> Optional[str]:
     """Resolve an ``index=`` option value against a metric's capabilities.
 
     Returns the concrete tree kind (``"kd"`` or ``"ball"``) or ``None``
-    for the brute-force path.  ``"auto"`` degrades silently to ``None``
-    when the metric lacks bound kernels; an *explicit* ``"kd"``/``"ball"``
-    on such a metric raises instead of silently changing the accounting
-    the caller asked to observe.
+    for the brute-force path.  ``"auto"`` degrades to ``None`` when the
+    metric lacks bound kernels (with a warning on the ``repro.index``
+    logger, since the caller loses the acceleration it asked about); an
+    *explicit* ``"kd"``/``"ball"`` on such a metric raises instead of
+    silently changing the accounting the caller asked to observe.
     """
     if index is None or index == "none":
         return None
@@ -77,7 +81,14 @@ def resolve_index_kind(index: Optional[str], metric: Metric) -> Optional[str]:
     base = unwrap_metric(metric)
     supported = bool(getattr(base, "supports_index", False))
     if index == "auto":
-        return "kd" if supported else None
+        if not supported:
+            _LOGGER.warning(
+                "index='auto' degraded to the brute-force kernels: metric %r "
+                "has no box-bound kernels (only the Minkowski family does)",
+                getattr(base, "name", base),
+            )
+            return None
+        return "kd"
     if not supported:
         raise InvalidParameterError(
             f"index={index!r} requires a metric with box bounds "
@@ -398,20 +409,31 @@ class SpatialIndex:
             Q = Q.reshape(1, -1)
         out = np.full((Q.shape[0], len(self)), np.inf)
         stack: List[Tuple[int, np.ndarray]] = [(0, np.arange(Q.shape[0]))]
+        pruned = 0
+        leaves = 0
         while stack:
             node, active = stack.pop()
             lower = self.lower_bounds(Q[active], node)
             active = active[lower * PRUNE_SLACK < node_max[node]]
             if active.size == 0:
+                pruned += 1
                 continue
             if self.is_leaf(node):
                 start, stop = self._starts[node], self._stops[node]
                 out[active[:, None], np.arange(start, stop)[None, :]] = kernel.pairwise(
                     Q[active], self.points[start:stop]
                 )
+                leaves += 1
                 continue
             stack.append((int(self._lefts[node]), active))
             stack.append((int(self._rights[node]), active))
+        obs.event(
+            "index.screen",
+            kind=self.kind,
+            queries=int(Q.shape[0]),
+            subtrees_pruned=pruned,
+            leaves_evaluated=leaves,
+        )
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

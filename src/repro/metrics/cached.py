@@ -14,7 +14,10 @@ from typing import Any, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.metrics.base import Metric
+
+_LOGGER = obs.get_logger("metrics")
 
 
 class CountingMetric(Metric):
@@ -185,13 +188,26 @@ class CachedMetric(Metric):
         if self.maxsize is not None and len(self._cache) >= self.maxsize:
             self._cache.popitem(last=False)
             self.evictions += 1
+            if self.evictions == 1:
+                _LOGGER.warning(
+                    "%s reached capacity (%d entries); evicting least-recently-"
+                    "used pairs from here on — repeated probes of evicted pairs "
+                    "recompute their distances",
+                    self.name,
+                    self.maxsize,
+                )
         self._cache[cache_key] = value
         return value
 
     def stats(self) -> Dict[str, float]:
-        """Occupancy and effectiveness counters for the memo dictionary."""
+        """Occupancy and effectiveness counters for the memo dictionary.
+
+        Also mirrors the counters into the process-local obs registry as
+        ``repro.metric.cache.*`` gauges when tracing is enabled, so a
+        traced run's cache effectiveness lands next to its spans.
+        """
         lookups = self.hits + self.misses
-        return {
+        data = {
             "size": len(self._cache),
             "capacity": float("inf") if self.maxsize is None else self.maxsize,
             "hits": self.hits,
@@ -199,6 +215,8 @@ class CachedMetric(Metric):
             "evictions": self.evictions,
             "hit_rate": self.hits / lookups if lookups else 0.0,
         }
+        obs.gauges("repro.metric.cache", data)
+        return data
 
     def clear(self) -> None:
         """Drop all memoised entries and reset hit/miss/eviction counters."""

@@ -1,0 +1,141 @@
+"""Pluggable telemetry sinks for the :mod:`repro.obs` tracer.
+
+A sink receives one JSON-safe ``dict`` per finished span or point event
+(see :mod:`repro.obs.trace` for the record schema) and decides where it
+goes.  Three implementations cover the common cases:
+
+* :class:`MemorySink` — collects records in a list; the default choice
+  for tests and for programmatic inspection of a run;
+* :class:`JsonlSink` — appends one compact JSON document per line to a
+  file, the interchange format consumed by ``tools/check_trace.py`` and
+  :func:`repro.evaluation.reporting.load_trace`;
+* :class:`StderrSink` — human-readable, depth-indented lines on stderr
+  for interactive debugging (the CLI ``--trace`` flag).
+
+Sinks must tolerate being called from multiple threads; the tracer
+serializes ``emit`` calls behind its own lock, so implementations only
+need to keep their own state consistent across ``emit``/``close``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+__all__ = ["Sink", "MemorySink", "JsonlSink", "StderrSink"]
+
+
+class Sink:
+    """Interface for trace-record consumers.
+
+    Subclasses implement :meth:`emit`; :meth:`close` is optional and is
+    called when the tracer releases a sink it owns (for example when a
+    scoped :func:`repro.obs.tracing` block exits).
+    """
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Consume one finished span or event record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources held by the sink (default: nothing)."""
+
+
+class MemorySink(Sink):
+    """Collect records in an in-process list (the test-friendly sink).
+
+    Attributes
+    ----------
+    records:
+        All records emitted so far, in completion order (children close
+        before their parents, so a child span precedes its parent).
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Append ``record`` to :attr:`records`."""
+        self.records.append(record)
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The collected span records, optionally filtered by ``name``."""
+        return [
+            record
+            for record in self.records
+            if record.get("type") == "span" and (name is None or record.get("name") == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The collected event records, optionally filtered by ``name``."""
+        return [
+            record
+            for record in self.records
+            if record.get("type") == "event" and (name is None or record.get("name") == name)
+        ]
+
+
+class JsonlSink(Sink):
+    """Write one compact JSON document per record to a file.
+
+    Parameters
+    ----------
+    path:
+        Target file; parent directories are created on demand and any
+        existing file is truncated (a trace describes one run).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[TextIO] = self.path.open("w", encoding="utf-8")
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Serialize ``record`` as one JSON line (keys sorted)."""
+        if self._handle is None:  # pragma: no cover - emit-after-close guard
+            return
+        self._handle.write(json.dumps(record, sort_keys=True, default=str))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file handle."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class StderrSink(Sink):
+    """Render records as human-readable, depth-indented stderr lines.
+
+    Parameters
+    ----------
+    stream:
+        Output stream; defaults to ``sys.stderr`` (resolved at emit time
+        so pytest's capture replacement is honoured).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Print one aligned ``name dur attrs`` line."""
+        stream = self._stream if self._stream is not None else sys.stderr
+        indent = "  " * int(record.get("depth", 0))
+        attrs = record.get("attrs") or {}
+        rendered = " ".join(f"{key}={value}" for key, value in sorted(attrs.items()))
+        if record.get("type") == "span":
+            duration_ms = float(record.get("dur", 0.0)) * 1000.0
+            line = f"[repro.obs] {indent}{record.get('name')} {duration_ms:.3f}ms"
+            if record.get("error"):
+                line += f" error={record['error']}"
+        else:
+            line = f"[repro.obs] {indent}· {record.get('name')}"
+        if rendered:
+            line += f" {rendered}"
+        print(line, file=stream)

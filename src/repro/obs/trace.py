@@ -1,0 +1,259 @@
+"""Hierarchical tracer: nested spans, point events, and a no-op fast path.
+
+A *span* is a named, attributed interval opened with :meth:`Tracer.span`
+as a context manager; spans nest per thread, and every finished span is
+emitted to the configured sinks as one JSON-safe record:
+
+``{"type": "span", "name": ..., "ts": <epoch start>, "mono": <monotonic
+start>, "dur": <seconds>, "span_id": ..., "parent_id": ..., "depth": ...,
+"attrs": {...}}`` — plus ``"error": <exception class name>`` when the
+span body raised.  Children close before their parents, so a trace file
+lists spans in completion order.  An *event* is a zero-duration record
+(``"type": "event"``) attached to the enclosing span, if any.
+
+The tracer ships disabled.  While disabled, :meth:`Tracer.span` returns a
+shared no-op context manager and :meth:`Tracer.event` returns
+immediately — one attribute read plus one call, cheap enough to leave
+span statements in hot chunk loops (``benchmarks/bench_obs_overhead.py``
+measures the cost and ``tools/perf_gate.py`` enforces it at <= 2% of the
+SFDM2 ingest path).  Tracing never changes results: instrumentation only
+observes, and the golden-pin and equivalence suites run every registry
+algorithm traced and untraced to prove byte-identical solutions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.sinks import JsonlSink, MemorySink, Sink, StderrSink
+
+__all__ = ["Tracer", "resolve_sink"]
+
+#: ``sink=`` argument accepted throughout the API: an explicit sink, the
+#: string aliases ``"stderr"``/``"memory"``, or a path for a JSONL file.
+SinkSpec = Union[Sink, str, "object"]
+
+_UNSET = object()
+
+
+def resolve_sink(target: Any) -> Tuple[Sink, bool]:
+    """Map a user-facing sink spec to ``(sink, owned)``.
+
+    ``owned`` is True when the tracer created the sink itself and is
+    therefore responsible for closing it on replacement; sinks passed in
+    as instances stay caller-owned.
+    """
+    if isinstance(target, Sink):
+        return target, False
+    if target is True or target == "stderr":
+        return StderrSink(), True
+    if target == "memory":
+        return MemorySink(), True
+    return JsonlSink(target), True
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        """Return self without recording anything."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Never suppress exceptions; nothing to close."""
+
+    def set(self, **attrs: Any) -> None:
+        """Discard attributes (disabled path)."""
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span: context manager that emits one record on close."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "depth", "_ts", "_mono")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self._ts = 0.0
+        self._mono = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach additional attributes discovered while the span runs."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        """Open the span: assign ids, push onto the thread's stack."""
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.span_id = next(tracer._ids)
+        self.parent_id = stack[-1].span_id if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._ts = time.time()
+        self._mono = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        """Close the span (exception-safe) and emit its record."""
+        duration = time.perf_counter() - self._mono
+        stack = self._tracer._stack()
+        # Normal `with` usage guarantees LIFO order; tolerate a corrupted
+        # stack rather than leaking frames under exotic misuse.
+        while stack and stack.pop() is not self:  # pragma: no cover - misuse guard
+            pass
+        record: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "ts": self._ts,
+            "mono": self._mono,
+            "dur": duration,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "attrs": self.attrs,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        self._tracer._emit(record)
+
+
+class Tracer:
+    """Thread-aware span/event recorder with pluggable sinks.
+
+    One module-level instance (``repro.obs.get_tracer()``) serves the
+    whole process; the engine layers call :meth:`span`/:meth:`event`
+    unconditionally and rely on the disabled fast path being free.
+
+    Attributes
+    ----------
+    enabled:
+        When False (the default), :meth:`span` returns a shared no-op
+        context manager and :meth:`event` is a single-branch return.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._sinks: List[Tuple[Sink, bool]] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._emit_lock = threading.Lock()
+
+    # -- internals ----------------------------------------------------
+
+    def _stack(self) -> List[_Span]:
+        """The calling thread's stack of open spans."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        """Hand one finished record to every sink (serialized)."""
+        with self._emit_lock:
+            for sink, _ in self._sinks:
+                sink.emit(record)
+
+    # -- recording ----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Union[_Span, _NoopSpan]:
+        """A context manager timing the named interval.
+
+        While the tracer is disabled this returns a shared no-op object;
+        the call itself is the entire disabled-path cost.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration point event under the current span."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        self._emit(
+            {
+                "type": "event",
+                "name": name,
+                "ts": time.time(),
+                "mono": time.perf_counter(),
+                "span_id": parent.span_id if parent else None,
+                "depth": len(stack),
+                "attrs": attrs,
+            }
+        )
+
+    def current_span(self) -> Optional[_Span]:
+        """The innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- configuration ------------------------------------------------
+
+    def configure(self, sink: Any = _UNSET, *, enabled: Optional[bool] = None) -> "Tracer":
+        """Install a sink and/or flip the enabled flag; returns self.
+
+        Parameters
+        ----------
+        sink:
+            New sole sink for the tracer — a :class:`Sink` instance,
+            ``"stderr"``, ``"memory"``, or a JSONL file path.  ``None``
+            removes all sinks.  Omitted entirely, the sinks are left
+            untouched (so ``configure(enabled=False)`` pauses tracing
+            without dropping a file sink mid-run).  Sinks the tracer
+            created from a spec are closed when replaced.
+        enabled:
+            Explicit on/off switch.  Defaults to True when a sink is
+            installed, False when sinks are removed, unchanged otherwise.
+        """
+        if sink is not _UNSET:
+            for old, owned in self._sinks:
+                if owned:
+                    old.close()
+            if sink is None:
+                self._sinks = []
+                if enabled is None:
+                    enabled = False
+            else:
+                self._sinks = [resolve_sink(sink)]
+                if enabled is None:
+                    enabled = True
+        if enabled is not None:
+            self.enabled = bool(enabled)
+        return self
+
+    @contextmanager
+    def tracing(self, target: Any = "memory") -> Iterator[Sink]:
+        """Scoped tracing: install ``target``, enable, then restore.
+
+        The previous sink list and enabled flag are reinstated on exit
+        (even on exception), and a sink created from a spec is closed.
+        Yields the active sink so callers can inspect
+        :attr:`MemorySink.records` in-line.
+        """
+        prior_sinks = self._sinks
+        prior_enabled = self.enabled
+        active, owned = resolve_sink(target)
+        self._sinks = [(active, owned)]
+        self.enabled = True
+        try:
+            yield active
+        finally:
+            self.enabled = prior_enabled
+            self._sinks = prior_sinks
+            if owned:
+                active.close()

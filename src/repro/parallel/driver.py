@@ -35,6 +35,7 @@ from typing import List, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.postprocess import greedy_fair_fill
 from repro.core.result import RunResult
 from repro.core.solution import FairSolution
@@ -219,39 +220,50 @@ class ParallelFDM:
         the problem unsharded.
         """
         pack = self.backend.requires_pickling
-        stream_timer = Timer()
-        with stream_timer.measure():
-            shards = self.planner.plan(stream)
-            total = sum(len(shard) for shard in shards)
-            jobs = [
-                _ShardJob(
-                    shard=self._ship_shard(shard) if pack else shard,
-                    metric=self.metric,
-                    k=self.summary_size,
-                    summarizer=self.summarizer,
-                    start_index=self._start_index(index, len(shard)),
-                )
-                for index, shard in enumerate(shards)
-            ]
-            outcomes = self.backend.map_shards(_summarize_shard, jobs)
-        summaries = [summary for summary, _ in outcomes]
-        shard_distance_calls = sum(calls for _, calls in outcomes)
+        run_span = obs.span(
+            "parallel.run", backend=self.backend.name, shards=self.planner.num_shards
+        )
+        with run_span:
+            stream_timer = Timer()
+            with stream_timer.measure():
+                with obs.span("parallel.plan", strategy=self.planner.strategy):
+                    shards = self.planner.plan(stream)
+                total = sum(len(shard) for shard in shards)
+                jobs = [
+                    _ShardJob(
+                        shard=self._ship_shard(shard) if pack else shard,
+                        metric=self.metric,
+                        k=self.summary_size,
+                        summarizer=self.summarizer,
+                        start_index=self._start_index(index, len(shard)),
+                    )
+                    for index, shard in enumerate(shards)
+                ]
+                with obs.span(
+                    "parallel.map", shards=len(jobs), backend=self.backend.name
+                ):
+                    outcomes = self.backend.map_shards(_summarize_shard, jobs)
+            summaries = [summary for summary, _ in outcomes]
+            shard_distance_calls = sum(calls for _, calls in outcomes)
 
-        counting = CountingMetric(self.metric)
-        post_timer = Timer()
-        with post_timer.measure():
-            coreset, merge_rounds = merge_tree(
-                summaries, counting, self.summary_size, start_index=0
-            )
-            selection = greedy_fair_fill(coreset, self.constraint, counting)
-            if self.refine_with_swap:
-                from repro.core.local_search import local_search_improve
+            counting = CountingMetric(self.metric)
+            post_timer = Timer()
+            with post_timer.measure():
+                with obs.span("parallel.merge", summaries=len(summaries)):
+                    coreset, merge_rounds = merge_tree(
+                        summaries, counting, self.summary_size, start_index=0
+                    )
+                selection = greedy_fair_fill(coreset, self.constraint, counting)
+                if self.refine_with_swap:
+                    from repro.core.local_search import local_search_improve
 
-                solution = local_search_improve(
-                    selection, coreset, counting, self.constraint
-                )
-            else:
-                solution = FairSolution(selection, counting, self.constraint)
+                    with obs.span("parallel.polish", selection=len(selection)):
+                        solution = local_search_improve(
+                            selection, coreset, counting, self.constraint
+                        )
+                else:
+                    solution = FairSolution(selection, counting, self.constraint)
+            run_span.set(elements=total, merge_rounds=merge_rounds)
 
         stats = StreamStats(
             elements_processed=total,
@@ -270,6 +282,7 @@ class ParallelFDM:
                 "coreset_size": float(len(coreset)),
             },
         )
+        stats.publish(self.name)
         return RunResult(
             algorithm=self.name,
             solution=solution,

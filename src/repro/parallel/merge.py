@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.core.coreset import gmm_coreset
 from repro.metrics.base import Metric
 from repro.data.element import Element
@@ -67,14 +68,15 @@ def merge_tree(
         return [], 0
     rounds = 0
     while len(level) > 1:
-        merged: List[List[Element]] = []
-        for index in range(0, len(level) - 1, 2):
-            merged.append(
-                merge_pair(level[index], level[index + 1], metric, k, start_index)
-            )
-        if len(level) % 2 == 1:
-            merged.append(level[-1])
-        level = merged
+        with obs.span("merge_tree.level", level=rounds, summaries=len(level)):
+            merged: List[List[Element]] = []
+            for index in range(0, len(level) - 1, 2):
+                merged.append(
+                    merge_pair(level[index], level[index + 1], metric, k, start_index)
+                )
+            if len(level) % 2 == 1:
+                merged.append(level[-1])
+            level = merged
         rounds += 1
     deduplicated: Dict[int, Element] = {}
     for element in level[0]:

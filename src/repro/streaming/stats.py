@@ -9,7 +9,9 @@ attached to every :class:`repro.core.result.RunResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
+
+from repro import obs
 
 
 @dataclass
@@ -35,8 +37,9 @@ class StreamStats:
     #: runs produce identical solutions, so this records *how* the distance
     #: counts above were achieved.
     index_kind: Optional[str] = None
-    #: Extra named counters (e.g. number of guesses, candidates balanced).
-    extra: Dict[str, float] = field(default_factory=dict)
+    #: Extra named values (e.g. number of guesses, candidates balanced).
+    #: Values are JSON-safe scalars — usually numbers, occasionally strings.
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -61,9 +64,14 @@ class StreamStats:
         if count > self.peak_stored_elements:
             self.peak_stored_elements = count
 
-    def as_dict(self) -> Dict[str, float]:
-        """Flatten all counters into one dictionary for reporting."""
-        data: Dict[str, float] = {
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten all counters into one JSON-serializable dictionary.
+
+        Most values are numbers, but ``index_kind`` (when set) is a
+        string — hence the ``Any`` value type.  The result always
+        round-trips through ``json.dumps``.
+        """
+        data: Dict[str, Any] = {
             "elements_processed": self.elements_processed,
             "stream_distance_computations": self.stream_distance_computations,
             "postprocess_distance_computations": self.postprocess_distance_computations,
@@ -78,3 +86,26 @@ class StreamStats:
             data["index_kind"] = self.index_kind
         data.update(self.extra)
         return data
+
+    def publish(self, algorithm: str) -> None:
+        """Feed this run's accounting into the process-local obs registry.
+
+        A no-op while tracing is disabled.  The registry view aggregates
+        *across* runs (counters add up, histograms summarize) alongside —
+        never instead of — the per-run fields above, which the accounting
+        tests pin.
+        """
+        if not obs.enabled():
+            return
+        metrics = obs.get_metrics()
+        metrics.counter("repro.runs").inc()
+        metrics.counter(f"repro.runs.{algorithm}").inc()
+        metrics.counter("repro.elements_processed").inc(self.elements_processed)
+        metrics.counter("repro.distance.stream").inc(self.stream_distance_computations)
+        metrics.counter("repro.distance.postprocess").inc(
+            self.postprocess_distance_computations
+        )
+        metrics.gauge("repro.stored.final").set(self.final_stored_elements)
+        metrics.gauge("repro.stored.peak").set(self.peak_stored_elements)
+        metrics.histogram("repro.seconds.stream").observe(self.stream_seconds)
+        metrics.histogram("repro.seconds.postprocess").observe(self.postprocess_seconds)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.coreset import gmm_coreset
 from repro.data.element import Element
 from repro.fairness.constraints import FairnessConstraint
@@ -76,25 +77,37 @@ class CheckpointedWindowFDM(WindowedAlgorithm):
 
     def _seal_current_block(self) -> None:
         """Summarise the filled block (per-group GMM coreset) and store it."""
-        summary = gmm_coreset(
-            self._current_block,
-            self.metric,
-            self.constraint.total_size,
-            per_group=True,
-            index=self._index_kind,
-        )
-        self._summaries.append((self._current_start, summary))
-        self._current_block = []
+        with obs.span(
+            "window.block.seal",
+            start=self._current_start,
+            size=len(self._current_block),
+        ):
+            summary = gmm_coreset(
+                self._current_block,
+                self.metric,
+                self.constraint.total_size,
+                per_group=True,
+                index=self._index_kind,
+            )
+            self._summaries.append((self._current_start, summary))
+            self._current_block = []
 
     def _evict_expired_blocks(self) -> None:
         """Drop block summaries that lie entirely outside the live window."""
         window_start = self.window_start
+        dropped = 0
         while self._summaries:
             start, summary = self._summaries[0]
             if start + self._block_size <= window_start:
                 self._summaries.popleft()
+                dropped += 1
             else:
                 break
+        if dropped:
+            obs.event(
+                "window.block.retire", retired=dropped, live=len(self._summaries)
+            )
+            obs.count("repro.window.blocks_retired", dropped)
 
     # ------------------------------------------------------------------
     @property

@@ -43,6 +43,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Sequence
 
+from repro import obs
 from repro.core.coreset import gmm_coreset
 from repro.data.element import Element
 from repro.data.store import ElementStore
@@ -144,13 +145,18 @@ class SlidingWindowFDM(WindowedAlgorithm):
     def _seal_block(self) -> None:
         """Summarise the filled block and fold it into the active summary."""
         block, self._buffer = self._buffer, []
-        summary = self._reduce(block)
-        self._live_blocks.append(_Block(start=self._count - len(block), summary=summary))
-        if len(self._live_blocks) == 1:
-            self._active_summary = list(summary)
-        else:
-            self._active_summary = self._reduce(self._active_summary + summary)
-        self._recount_summaries()
+        with obs.span(
+            "window.block.seal", start=self._count - len(block), size=len(block)
+        ):
+            summary = self._reduce(block)
+            self._live_blocks.append(
+                _Block(start=self._count - len(block), summary=summary)
+            )
+            if len(self._live_blocks) == 1:
+                self._active_summary = list(summary)
+            else:
+                self._active_summary = self._reduce(self._active_summary + summary)
+            self._recount_summaries()
 
     def _retire_expired_blocks(self) -> None:
         """Drop blocks whose start slipped out of the window; recompose.
@@ -163,14 +169,18 @@ class SlidingWindowFDM(WindowedAlgorithm):
         starts within one block of the window start.
         """
         window_start = self.window_start
-        dropped = False
+        dropped = 0
         while self._live_blocks and self._live_blocks[0].start < window_start:
             self._live_blocks.popleft()
-            dropped = True
+            dropped += 1
         if dropped:
-            pool = [e for block in self._live_blocks for e in block.summary]
-            self._active_summary = self._reduce(pool) if pool else []
-            self._recount_summaries()
+            with obs.span(
+                "window.block.retire", retired=dropped, live=len(self._live_blocks)
+            ):
+                pool = [e for block in self._live_blocks for e in block.summary]
+                self._active_summary = self._reduce(pool) if pool else []
+                self._recount_summaries()
+            obs.count("repro.window.blocks_retired", dropped)
 
     def _recount_summaries(self) -> None:
         """Refresh the cached distinct-uid count (block-boundary events only).

@@ -1,0 +1,107 @@
+"""Tracing must never perturb results: traced == untraced, every algorithm.
+
+Instrumentation only observes.  For **every** registered algorithm this
+suite runs the same ``repro.solve`` call twice — once untraced, once into
+a :class:`~repro.obs.MemorySink` — and asserts byte-identical solutions
+(same uids in the same order, bit-equal diversity) and equal distance
+accounting.  Driven off :func:`repro.algorithm_names`, so a newly
+registered algorithm is covered automatically.
+
+A second check re-computes two golden-pinned cases with tracing enabled
+and compares them against the tracked ``tests/golden/solutions.json`` —
+the pins hold with tracing on or off.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import obs
+from repro.datasets.synthetic import synthetic_blobs
+from repro.obs import MemorySink
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "solutions.json"
+
+K = 6
+EPSILON = 0.1
+SEED = 7
+#: Options forwarded to solve() per algorithm (match test_solve_equivalence).
+SOLVE_OPTIONS = {
+    "ParallelFDM": {"shards": 3, "backend": "serial"},
+    "Coreset": {"num_parts": 3},
+    "SlidingWindowFDM": {"window": 100, "blocks": 5},
+}
+
+
+@pytest.fixture(autouse=True)
+def _pristine_tracer():
+    """Tracing state never leaks between tests."""
+    obs.configure(sink=None, enabled=False)
+    yield
+    obs.configure(sink=None, enabled=False)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_blobs(n=250, m=2, seed=3)
+
+
+def _solve(dataset, name, trace=None):
+    return repro.solve(
+        dataset,
+        k=K,
+        algorithm=name,
+        epsilon=EPSILON,
+        seed=SEED,
+        trace=trace,
+        **SOLVE_OPTIONS.get(name, {}),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(repro.algorithm_names()))
+def test_traced_run_is_byte_identical(name, dataset):
+    untraced = _solve(dataset, name)
+    sink = MemorySink()
+    traced = _solve(dataset, name, trace=sink)
+
+    assert not obs.enabled(), "solve(trace=...) must restore the tracer state"
+    assert [e.uid for e in traced.solution.elements] == [
+        e.uid for e in untraced.solution.elements
+    ]
+    assert traced.solution.diversity == untraced.solution.diversity
+    assert (
+        traced.stats.total_distance_computations
+        == untraced.stats.total_distance_computations
+    )
+    assert (
+        traced.stats.stream_distance_computations
+        == untraced.stats.stream_distance_computations
+    )
+    assert traced.stats.elements_processed == untraced.stats.elements_processed
+
+    # The trace is non-trivial: a solve root span wrapping the run.
+    solve_spans = sink.spans("solve")
+    assert len(solve_spans) == 1
+    assert solve_spans[0]["attrs"]["algorithm"] == repro.get_algorithm(name).name
+
+
+@pytest.mark.parametrize("case", ["blobs-m2/SFDM1", "blobs-m2/SFDM2"])
+def test_golden_pins_hold_with_tracing_on(case):
+    """The tracked golden records are reproduced by a *traced* solve."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    recorded = golden["entries"][case]
+    _, name = case.split("/")
+    dataset = synthetic_blobs(n=140, m=2, seed=101)
+    with obs.tracing("memory"):
+        result = repro.solve(
+            dataset, k=golden["k"], algorithm=name,
+            epsilon=golden["epsilon"], seed=golden["seed"],
+        )
+    assert [int(uid) for uid in result.solution.uids] == recorded["uids"]
+    assert float(result.solution.diversity) == recorded["diversity"]
+    assert (
+        int(result.stats.total_distance_computations)
+        == recorded["distance_computations"]
+    )

@@ -1,5 +1,7 @@
 """Unit tests for StreamStats accounting."""
 
+import json
+
 import pytest
 
 from repro.streaming.stats import StreamStats
@@ -40,3 +42,19 @@ class TestStreamStats:
         assert data["num_guesses"] == 12
         assert "total_seconds" in data
         assert "average_update_seconds" in data
+
+    def test_as_dict_round_trips_through_json_with_string_extras(self):
+        """Regression: ``extra`` holds strings too (e.g. ``index_kind``).
+
+        The annotation used to claim ``Dict[str, float]`` while the index
+        layer stored the resolved tree kind as a string; ``as_dict`` must
+        stay JSON-serializable either way.
+        """
+        stats = StreamStats(
+            elements_processed=42, extra={"index_kind": "kd", "num_guesses": 9}
+        )
+        data = stats.as_dict()
+        restored = json.loads(json.dumps(data))
+        assert restored == data
+        assert restored["index_kind"] == "kd"
+        assert restored["num_guesses"] == 9

@@ -20,6 +20,12 @@ at or below the brute counts with at least one ≥ 2x reduction, and a fresh
 smoke run of the index bench must reproduce the ``index_smoke`` evaluation
 counts exactly (the accounting is deterministic for a fixed seed/scale).
 
+And it covers the observability layer
+(``benchmarks/bench_obs_overhead.py``): the committed ``obs_overhead``
+section and a fresh smoke run must both show the disabled tracing path
+accounting for <= 2% of the SFDM2 ingest wall-clock, with traced and
+untraced runs charging identical distance counts.
+
 Exit status 0 means no regression (or hardware mismatch, reported); 1
 means a check failed.  Refresh the baseline by re-running
 ``make bench-hot`` (acceptance scale) and the smoke bench
@@ -42,6 +48,12 @@ BASELINE_PATH = REPO_ROOT / "BENCH_hot_paths.json"
 SMOKE_SECTION = "hot_paths_smoke"
 INDEX_SECTION = "index"
 INDEX_SMOKE_SECTION = "index_smoke"
+OBS_SECTION = "obs_overhead"
+OBS_SMOKE_SECTION = "obs_overhead_smoke"
+
+#: Acceptance bar on the observability sections: the disabled tracing
+#: path may account for at most this share of the SFDM2 ingest time.
+OBS_MAX_OVERHEAD_PCT = 2.0
 
 #: Wall-clock keys compared against the baseline (seconds, lower is better).
 TIMED_KEYS = (
@@ -105,6 +117,27 @@ def _run_smoke_bench(smoke_n: int, scratch_json: Path) -> dict:
     )
 
 
+def _check_obs_overhead(section: dict, label: str, failures: list) -> None:
+    """The disabled-path-overhead and tracing-identity checks on one section."""
+    overhead = section.get("disabled_overhead_pct")
+    if overhead is None:
+        failures.append(f"{label}: missing disabled_overhead_pct")
+    elif float(overhead) > OBS_MAX_OVERHEAD_PCT:
+        failures.append(
+            f"{label}: disabled tracing overhead {float(overhead):.3f}% exceeds "
+            f"the {OBS_MAX_OVERHEAD_PCT:g}% bar"
+        )
+    untraced = section.get("stream_distance_computations")
+    traced = section.get("traced_stream_distance_computations")
+    if untraced is None or traced is None:
+        failures.append(f"{label}: missing traced/untraced distance counts")
+    elif int(traced) != int(untraced):
+        failures.append(
+            f"{label}: tracing changed the distance accounting "
+            f"(traced {traced} != untraced {untraced})"
+        )
+
+
 def _check_index_counts(section: dict, label: str, failures: list) -> None:
     """The never-more-evaluations invariant over one index bench section."""
     for brute_key, indexed_key in INDEX_EVAL_PAIRS:
@@ -149,6 +182,15 @@ def main(argv=None) -> int:
             f"`make bench-index` and the smoke bench, then commit the JSON"
         )
 
+    obs_baseline = baseline_data.get(OBS_SECTION)
+    obs_smoke_baseline = baseline_data.get(OBS_SMOKE_SECTION)
+    if obs_baseline is None or obs_smoke_baseline is None:
+        raise SystemExit(
+            f"perf gate: baseline {BASELINE_PATH.name} is missing the "
+            f"{OBS_SECTION!r}/{OBS_SMOKE_SECTION!r} sections; run "
+            f"`make bench-obs` and the smoke bench, then commit the JSON"
+        )
+
     with tempfile.TemporaryDirectory(prefix="perf-gate-") as scratch_dir:
         fresh = _run_smoke_bench(
             int(baseline.get("n", 8000)), Path(scratch_dir) / "bench.json"
@@ -159,8 +201,31 @@ def main(argv=None) -> int:
             Path(scratch_dir) / "bench_index.json",
             INDEX_SMOKE_SECTION,
         )
+        fresh_obs = _run_bench(
+            "benchmarks/bench_obs_overhead.py",
+            {
+                "REPRO_BENCH_OBS_N": str(obs_smoke_baseline.get("n", 8000)),
+                "REPRO_BENCH_HOT_NO_ASSERT": "1",
+            },
+            Path(scratch_dir) / "bench_obs.json",
+            OBS_SMOKE_SECTION,
+        )
 
     failures = []
+
+    # --- Observability layer -----------------------------------------
+    # Committed acceptance-scale and committed smoke sections carry the
+    # recorded claim; the fresh smoke run re-proves it on this machine.
+    _check_obs_overhead(obs_baseline, OBS_SECTION, failures)
+    _check_obs_overhead(obs_smoke_baseline, OBS_SMOKE_SECTION, failures)
+    _check_obs_overhead(fresh_obs, f"{OBS_SMOKE_SECTION} (fresh)", failures)
+    expected_obs_calls = obs_smoke_baseline.get("stream_distance_computations")
+    actual_obs_calls = fresh_obs.get("stream_distance_computations")
+    if expected_obs_calls is not None and actual_obs_calls != expected_obs_calls:
+        failures.append(
+            f"{OBS_SMOKE_SECTION}.stream_distance_computations changed: "
+            f"{actual_obs_calls} != baseline {expected_obs_calls}"
+        )
 
     # --- Index layer -------------------------------------------------
     # The committed acceptance-scale section carries the headline claim:
@@ -234,7 +299,8 @@ def main(argv=None) -> int:
         "perf gate: OK "
         f"(ingest {fresh_ratio:.2f}x vs baseline {base_ratio:.2f}x, "
         f"store ingest {float(fresh.get('sfdm2_ingest_store_s', 0.0)):.3f}s, "
-        f"index reduction {best_reduction:.2f}x at acceptance scale)"
+        f"index reduction {best_reduction:.2f}x at acceptance scale, "
+        f"tracing overhead {float(fresh_obs.get('disabled_overhead_pct', 0.0)):.3f}%)"
     )
     return 0
 
