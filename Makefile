@@ -43,10 +43,14 @@ bench-smoke:
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/bench_batch_throughput.py -q -s
 
-## Acceptance-scale parallel engine benchmark (ParallelFDM, n = 100_000,
-## serial vs thread vs process at 4 shards plus a shard-count scan; the
+## Acceptance-scale parallel engine benchmark (ParallelFDM, n = 100_000:
+## per-shard-count process+shm vs serial scan, cross-backend/transport
+## solution identity, and per-worker bytes shipped — the shm descriptor
+## payload must undercut the pickled-store payload at every scale; the
 ## >= 2.5x process-over-serial assertion applies on machines with >= 4
-## usable cores).
+## usable cores). Refreshes the `parallel_scaling` section of
+## BENCH_hot_paths.json; the smoke run (`make bench-smoke` / `make ci`)
+## refreshes `parallel_scaling_smoke`, which the perf gate re-proves.
 bench-parallel:
 	$(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py -q -s
 
@@ -102,7 +106,7 @@ perf-gate:
 ## numpydoc convention) with the standard library only.
 docs-check:
 	@$(PYTHON) -c "import pydocstyle" 2>/dev/null \
-		&& $(PYTHON) -m pydocstyle --convention=numpy src/repro/metrics src/repro/streaming \
+		&& $(PYTHON) -m pydocstyle --convention=numpy src/repro/metrics src/repro/streaming src/repro/parallel \
 		|| $(PYTHON) tools/check_docstrings.py src/repro
 
 ## Public-API drift gate: the exported names and signatures of `repro` and

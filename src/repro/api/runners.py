@@ -31,6 +31,7 @@ from repro.index.tree import INDEX_KINDS
 from repro.parallel.backends import resolve_backend
 from repro.parallel.driver import ParallelFDM
 from repro.parallel.planner import ShardPlanner
+from repro.parallel.shm import TRANSPORTS
 from repro.parallel.summarize import resolve_summarizer
 from repro.metrics.cached import CountingMetric
 from repro.streaming.stats import StreamStats
@@ -416,8 +417,18 @@ def _run_sliding_window(context: RunContext) -> RunResult:
 def _validate_parallel(options: Mapping[str, Any]) -> None:
     """Eager checks for the parallel-engine options (backend, strategy, ...)."""
     shards = options.get("shards", 4)
-    shards = require_positive_int(shards, "shards")
-    resolve_backend(options.get("backend", "serial"))
+    if shards not in ("auto", None):
+        shards = require_positive_int(shards, "shards")
+    else:
+        shards = 1
+    backend = options.get("backend", "serial")
+    if backend != "auto":
+        resolve_backend(backend)
+    transport = options.get("transport", "auto")
+    if transport not in TRANSPORTS:
+        raise InvalidParameterError(
+            f"transport must be one of {', '.join(TRANSPORTS)}, got {transport!r}"
+        )
     ShardPlanner(shards, strategy=options.get("strategy", "stratified"))
     resolve_summarizer(options.get("summarizer", "gmm"))
     if "summary_size" in options:
@@ -437,6 +448,7 @@ def _validate_parallel(options: Mapping[str, Any]) -> None:
         "strategy",
         "summarizer",
         "summary_size",
+        "transport",
         "refine_with_swap",
     ),
     validator=_validate_parallel,
@@ -451,6 +463,7 @@ def _run_parallel(context: RunContext) -> RunResult:
         strategy=context.option("strategy", "stratified"),
         summarizer=context.option("summarizer", "gmm"),
         summary_size=context.option("summary_size"),
+        transport=context.option("transport", "auto"),
         refine_with_swap=context.option("refine_with_swap", True),
         seed=context.seed,
     )

@@ -53,6 +53,7 @@ from repro.evaluation.harness import (
 )
 from repro.evaluation.reporting import format_table, records_to_rows, write_csv
 from repro.parallel.backends import backend_names
+from repro.parallel.shm import TRANSPORTS
 from repro.utils.errors import ReproError
 
 
@@ -149,6 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _shards_arg(value: str):
+    """``--shards`` parser: a positive integer or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dataset",
@@ -179,15 +192,31 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--shards",
-        type=int,
+        type=_shards_arg,
         default=4,
-        help="shard count for the ParallelFDM engine (default 4)",
+        help=(
+            "shard count for the ParallelFDM engine, or 'auto' to let the "
+            "execution planner size it (default 4)"
+        ),
     )
     parser.add_argument(
         "--backend",
-        choices=tuple(backend_names()),
+        choices=tuple(backend_names()) + ("auto",),
         default="serial",
-        help="execution backend for the ParallelFDM shards (default: serial)",
+        help=(
+            "execution backend for the ParallelFDM shards; 'auto' picks one "
+            "from the input size and CPU count (default: serial)"
+        ),
+    )
+    parser.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default="auto",
+        help=(
+            "how ParallelFDM ships shards to process workers: shared memory, "
+            "pickle, or auto-degrade (default: auto); solutions are identical "
+            "either way"
+        ),
     )
     parser.add_argument(
         "--window",
@@ -275,6 +304,7 @@ def _options_for(args: argparse.Namespace, name: str) -> dict:
         "batch_size": args.batch_size,
         "shards": args.shards,
         "backend": args.backend,
+        "transport": args.transport,
         "window": args.window,
         "blocks": args.blocks,
         "index": args.index,

@@ -134,16 +134,19 @@ def offline_algorithms(include_fair_gmm: bool = False) -> List[AlgorithmSpec]:
 
 
 def parallel_algorithm(
-    shards: int = 4,
+    shards=4,
     backend: str = "serial",
     strategy: str = "stratified",
     summarizer: str = "gmm",
+    transport: str = "auto",
 ) -> AlgorithmSpec:
     """The sharded ParallelFDM engine as a harness algorithm.
 
-    Parameters are validated eagerly through the registry entry: an invalid
-    shard count, backend name, strategy, or summarizer raises
-    :class:`InvalidParameterError` here, before any run starts.
+    ``shards`` and ``backend`` accept ``"auto"`` to defer the decision to
+    the execution planner.  Parameters are validated eagerly through the
+    registry entry: an invalid shard count, backend name, strategy,
+    summarizer, or transport raises :class:`InvalidParameterError` here,
+    before any run starts.
     """
     return algorithm_spec(
         "ParallelFDM",
@@ -151,6 +154,7 @@ def parallel_algorithm(
         backend=backend,
         strategy=strategy,
         summarizer=summarizer,
+        transport=transport,
     )
 
 

@@ -2,20 +2,23 @@
 
 The driver stitches the parallel layer together:
 
-1. a :class:`~repro.parallel.planner.ShardPlanner` partitions the stream
-   (group-stratified by default, so small protected groups are spread
-   across shards rather than stranded in one);
+1. an :class:`~repro.parallel.planner.ExecutionPlanner` (when
+   ``backend="auto"``) or the caller picks the backend and shard count; a
+   :class:`~repro.parallel.planner.ShardPlanner` then partitions the
+   stream (group-stratified by default, so small protected groups are
+   spread across shards rather than stranded in one);
 2. every shard is summarised on a
-   :class:`~repro.parallel.backends.Backend` worker — cut out as a
-   columnar :class:`~repro.data.store.ElementStore` (three arrays pickle
-   orders of magnitude faster than 25 000 individual ``Element``
-   pickles) when the backend crosses a process boundary, and handed over
-   untouched for the in-process backends — with a
-   :class:`~repro.parallel.summarize.ShardSummarizer` — by default the
-   per-group GMM composable coreset, computed with the vectorized batch
-   kernels;
-3. the per-shard summaries are reduced through the binary
-   :func:`~repro.parallel.merge.merge_tree` on the driver;
+   :class:`~repro.parallel.backends.Backend` worker.  Shards crossing a
+   process boundary ship through the zero-copy shared-memory transport
+   (:mod:`repro.parallel.shm`): the driver publishes one read-only block
+   holding every shard's columnar arrays and workers receive only
+   ``(offset, length)`` descriptors, reconstructing their shard as NumPy
+   views — degrading to pickled :class:`~repro.data.store.ElementStore`
+   columns (or plain element lists for non-columnar payloads) when the
+   platform or the payload rules shared memory out.  In-process backends
+   hand the shard over untouched;
+3. the per-shard summaries are reduced through the binary, per-level
+   store-batched :func:`~repro.parallel.merge.merge_tree` on the driver;
 4. the fair post-processing runs on the merged coreset: greedy fair fill
    plus (optionally) the same-group local-search polish, exactly the
    extraction rule :func:`repro.core.coreset.coreset_fair_diversity`
@@ -24,16 +27,14 @@ The driver stitches the parallel layer together:
 Every stage is deterministic for a fixed ``(stream order, shards,
 strategy, seed)``: the planner is order-preserving, backends return
 results in shard order, the merge pairs summaries positionally, and GMM
-seed positions are derived from the run seed.  The *backend* therefore
-never affects the solution — only where and how fast the shard work runs
-— which the property tests pin down.
+seed positions are derived from the run seed.  Neither the *backend* nor
+the *transport* ever affects the solution — only where and how fast the
+shard work runs — which the property tests pin down.
 """
 
 from __future__ import annotations
 
 from typing import List, NamedTuple, Optional, Tuple, Union
-
-import numpy as np
 
 from repro import obs
 from repro.core.postprocess import greedy_fair_fill
@@ -45,57 +46,39 @@ from repro.metrics.base import Metric
 from repro.metrics.cached import CountingMetric
 from repro.parallel.backends import Backend, resolve_backend
 from repro.parallel.merge import merge_tree
-from repro.parallel.planner import ShardPlanner
+from repro.parallel.planner import ExecutionPlanner, ShardPlanner
+from repro.parallel.shm import (
+    TRANSPORTS,
+    ShardRef,
+    detach_elements,
+    ship_shards,
+)
 from repro.parallel.summarize import ShardSummarizer, resolve_summarizer
 from repro.data.element import Element
 from repro.streaming.stats import StreamStats
+from repro.utils.errors import InvalidParameterError
 from repro.utils.rng import derive_seed
 from repro.utils.timer import Timer
 from repro.utils.validation import require_positive_int
 
-
-class _ColumnShard(NamedTuple):
-    """Compact fallback shipping for shards whose payloads are not columnar.
-
-    Ragged or categorical payloads cannot become an
-    :class:`~repro.data.store.ElementStore`, but the uid/group columns
-    (and the label sparsity check) still pickle far cheaper as flat arrays
-    than as per-element attribute dictionaries; only the raw payload list
-    crosses the boundary as objects.
-    """
-
-    uids: "np.ndarray"
-    groups: "np.ndarray"
-    payloads: List
-    labels: Optional[List[Optional[str]]]
-
-    def elements(self) -> List[Element]:
-        """Rebuild the element list a worker operates on."""
-        labels = self.labels
-        return [
-            Element(
-                uid=int(self.uids[index]),
-                vector=self.payloads[index],
-                group=int(self.groups[index]),
-                label=None if labels is None else labels[index],
-            )
-            for index in range(len(self.payloads))
-        ]
+#: The one shard payload format: an shm descriptor, a pickled columnar
+#: store, or (in-process / non-columnar fallback) the element list itself.
+ShardPayload = Union[ShardRef, ElementStore, List[Element]]
 
 
 class _ShardJob(NamedTuple):
-    """One unit of backend work: a shard plus the summarizer config.
+    """One unit of backend work: a shard payload plus the summarizer config.
 
-    ``shard`` is a columnar :class:`~repro.data.store.ElementStore` when
-    the backend ships tasks across a process boundary (a store pickles as
-    three flat arrays, orders of magnitude faster than an element list),
-    a :class:`_ColumnShard` for the rare boundary-crossing shard whose
-    payloads are not columnar (ragged or categorical data), and the plain
-    element list for in-process backends, which never pickle and would
-    only pay a conversion tax.
+    ``shard`` is a :data:`ShardPayload`: a :class:`ShardRef` descriptor
+    when the shard travels through the shared-memory block (pickles in
+    O(1)), a columnar :class:`~repro.data.store.ElementStore` on the
+    pickle fallback (three flat arrays, orders of magnitude faster than
+    per-element pickles), and the plain element list for in-process
+    backends — which never pickle and would only pay a conversion tax —
+    or for the rare non-columnar payload.
     """
 
-    shard: Union[ElementStore, "_ColumnShard", List[Element]]
+    shard: ShardPayload
     metric: Metric
     k: int
     summarizer: ShardSummarizer
@@ -107,16 +90,25 @@ def _summarize_shard(job: _ShardJob) -> Tuple[List[Element], int]:
 
     Module-level (not a closure) so the process backend can pickle it; the
     distance count is measured inside the worker and shipped back with the
-    summary so the accounting works identically on every backend.  Store
-    shards are materialised as zero-copy element views inside the worker;
-    the summary elements detach from the store when pickled back, so the
-    return trip ships only the selected rows.
+    summary so the accounting works identically on every backend.  An
+    shm-shipped shard is attached as zero-copy views and the mapping is
+    released before returning — summaries are detached first (copying only
+    the selected rows, the same bytes pickling would copy anyway).  Store
+    shards summarise straight on their columns; the summary elements
+    detach from the store when pickled back, so the return trip ships only
+    the selected rows.
     """
     counting = CountingMetric(job.metric)
-    shard = job.shard
-    elements = shard.elements() if not isinstance(shard, list) else shard
+    payload = job.shard
+    if isinstance(payload, ShardRef):
+        with payload.attach() as attached:
+            summary = job.summarizer.summarize(
+                attached.store, counting, job.k, start_index=job.start_index
+            )
+            summary = detach_elements(summary)
+        return summary, counting.calls
     summary = job.summarizer.summarize(
-        elements, counting, job.k, start_index=job.start_index
+        payload, counting, job.k, start_index=job.start_index
     )
     return summary, counting.calls
 
@@ -132,10 +124,16 @@ class ParallelFDM:
         Fairness constraint; its total size ``k`` is the per-group summary
         budget unless ``summary_size`` overrides it.
     shards:
-        Requested shard count (the plan may contain fewer for tiny inputs).
+        Requested shard count (the plan may contain fewer for tiny
+        inputs), or ``"auto"`` to let the execution planner derive it from
+        the input size and CPU count.
     backend:
-        A :class:`Backend` instance or one of ``"serial"``, ``"thread"``,
-        ``"process"``; validated eagerly.
+        A :class:`Backend` instance, one of ``"serial"``, ``"thread"``,
+        ``"process"`` (validated eagerly), or ``"auto"`` — the
+        :class:`~repro.parallel.planner.ExecutionPlanner` then picks the
+        backend per run from the input size, dimensionality, and usable
+        CPUs (small inputs stay serial).  The choice never affects the
+        computed solution.
     strategy:
         Shard planning strategy; defaults to ``"stratified"`` so protected
         groups are spread across shards (``"contiguous"`` splits the
@@ -145,13 +143,22 @@ class ParallelFDM:
         ``"stream"``; defaults to the per-group GMM composable coreset.
     summary_size:
         Per-group summary budget; defaults to ``constraint.total_size``.
+    transport:
+        How shards cross a process boundary: ``"auto"`` (shared memory
+        when the platform and payload allow, pickle otherwise),
+        ``"shm"`` (prefer shared memory, warn-and-degrade on failure), or
+        ``"pickle"``.  Solutions and distance counts are identical on
+        every transport; in-process backends ignore it.
+    planner:
+        The :class:`~repro.parallel.planner.ExecutionPlanner` consulted
+        for ``"auto"`` decisions (a default-configured one if omitted).
     refine_with_swap:
         Apply the same-group local-search polish to the extracted solution
         (cheap — the merged coreset is small).
     seed:
         Seed for the GMM start positions inside shards; results are
         reproducible for a fixed ``(stream order, shards, strategy, seed)``
-        and identical across backends.
+        and identical across backends and transports.
     """
 
     name = "ParallelFDM"
@@ -160,23 +167,38 @@ class ParallelFDM:
         self,
         metric: Metric,
         constraint: FairnessConstraint,
-        shards: int = 4,
+        shards: Union[int, str] = 4,
         backend: Union[str, Backend, None] = "serial",
         strategy: str = "stratified",
         summarizer: Union[str, ShardSummarizer, None] = "gmm",
         summary_size: Optional[int] = None,
+        transport: str = "auto",
+        planner: Optional[ExecutionPlanner] = None,
         refine_with_swap: bool = True,
         seed: Optional[int] = None,
     ) -> None:
         self.metric = metric
         self.constraint = constraint
-        self.planner = ShardPlanner(shards, strategy=strategy)
-        self.backend = resolve_backend(backend)
+        self._auto_backend = isinstance(backend, str) and backend == "auto"
+        self.backend = None if self._auto_backend else resolve_backend(backend)
+        self._auto_shards = shards in ("auto", None)
+        if self._auto_shards:
+            self.shards = None
+        else:
+            self.shards = require_positive_int(shards, "shards")
+        # Validates the strategy eagerly even when the count is planned.
+        self.planner = ShardPlanner(self.shards or 1, strategy=strategy)
+        self.execution_planner = planner if planner is not None else ExecutionPlanner()
         self.summarizer = resolve_summarizer(summarizer)
         self.summary_size = require_positive_int(
             summary_size if summary_size is not None else constraint.total_size,
             "summary_size",
         )
+        if transport not in TRANSPORTS:
+            raise InvalidParameterError(
+                f"transport must be one of {', '.join(TRANSPORTS)}, got {transport!r}"
+            )
+        self.transport = transport
         self.refine_with_swap = refine_with_swap
         self.seed = seed
 
@@ -187,62 +209,81 @@ class ParallelFDM:
         derived = derive_seed(self.seed, shard_index)
         return int(derived) % shard_size
 
-    @staticmethod
-    def _ship_shard(shard: List[Element]) -> Union[ElementStore, _ColumnShard]:
-        """The pickle-cheap shard representation for process workers.
+    def _resolve_plan(
+        self, elements: List[Element]
+    ) -> Tuple[Backend, ShardPlanner, Optional[str]]:
+        """The concrete (backend, shard planner) for this input.
 
-        Columnar payloads ship as an :class:`ElementStore` (shards cut from
-        a store-backed stream gather their rows with one vectorized select
-        per column); ragged or categorical payloads fall back to the
-        :class:`_ColumnShard` column form, which still ships uids/groups as
-        flat arrays and only the raw payloads as objects.
+        Fixed configurations pass through untouched; ``"auto"`` asks the
+        execution planner, using the first element's payload width as the
+        dimensionality signal.
         """
-        store = ElementStore.try_from_elements(shard)
-        if store is not None:
-            return store
-        labels = [element.label for element in shard]
-        return _ColumnShard(
-            uids=np.fromiter((e.uid for e in shard), dtype=np.int64, count=len(shard)),
-            groups=np.fromiter((e.group for e in shard), dtype=np.int64, count=len(shard)),
-            payloads=[element.vector for element in shard],
-            labels=labels if any(label is not None for label in labels) else None,
-        )
+        if not (self._auto_backend or self._auto_shards):
+            return self.backend, self.planner, None
+        first = elements[0].vector
+        dim = int(getattr(first, "shape", (1,))[0]) if hasattr(first, "shape") else 1
+        plan = self.execution_planner.plan(len(elements), dim)
+        backend = self.backend
+        if self._auto_backend:
+            backend = resolve_backend(plan.backend)
+        shard_planner = self.planner
+        if self._auto_shards:
+            shard_planner = ShardPlanner(plan.shards, strategy=self.planner.strategy)
+        return backend, shard_planner, plan.reason
 
     def run(self, stream) -> RunResult:
         """Consume ``stream`` (any element iterable) and return a :class:`RunResult`.
 
         The stream phase covers planning, shipping, and the per-shard
         summaries; the post-processing phase covers the merge tree, the
-        greedy fair fill, and the optional local-search polish.  Stored
+        greedy fair fill, and the optional local-search polish.  A
+        published shared-memory block is disposed of (closed and
+        unlinked) as soon as the map completes, success or not.  Stored
         elements are accounted from the distributed perspective: the peak
         is the largest single worker's shard plus the driver-side
         summaries, not the full ``n`` the driver would need if it solved
         the problem unsharded.
         """
-        pack = self.backend.requires_pickling
+        elements = list(stream)
+        backend, shard_planner, plan_reason = self._resolve_plan(elements)
         run_span = obs.span(
-            "parallel.run", backend=self.backend.name, shards=self.planner.num_shards
+            "parallel.run", backend=backend.name, shards=shard_planner.num_shards
         )
         with run_span:
             stream_timer = Timer()
             with stream_timer.measure():
-                with obs.span("parallel.plan", strategy=self.planner.strategy):
-                    shards = self.planner.plan(stream)
+                with obs.span("parallel.plan", strategy=shard_planner.strategy):
+                    shards = shard_planner.plan(elements)
                 total = sum(len(shard) for shard in shards)
+                block = None
+                transport_used = "inline"
+                if backend.requires_pickling:
+                    payloads, block, transport_used = ship_shards(
+                        shards, self.transport
+                    )
+                else:
+                    payloads = shards
                 jobs = [
                     _ShardJob(
-                        shard=self._ship_shard(shard) if pack else shard,
+                        shard=payload,
                         metric=self.metric,
                         k=self.summary_size,
                         summarizer=self.summarizer,
                         start_index=self._start_index(index, len(shard)),
                     )
-                    for index, shard in enumerate(shards)
+                    for index, (payload, shard) in enumerate(zip(payloads, shards))
                 ]
-                with obs.span(
-                    "parallel.map", shards=len(jobs), backend=self.backend.name
-                ):
-                    outcomes = self.backend.map_shards(_summarize_shard, jobs)
+                try:
+                    with obs.span(
+                        "parallel.map",
+                        shards=len(jobs),
+                        backend=backend.name,
+                        transport=transport_used,
+                    ):
+                        outcomes = backend.map_shards(_summarize_shard, jobs)
+                finally:
+                    if block is not None:
+                        block.dispose()
             summaries = [summary for summary, _ in outcomes]
             shard_distance_calls = sum(calls for _, calls in outcomes)
 
@@ -283,24 +324,30 @@ class ParallelFDM:
             },
         )
         stats.publish(self.name)
+        params = {
+            "k": self.constraint.total_size,
+            "shards": shard_planner.num_shards,
+            "backend": backend.name,
+            "strategy": shard_planner.strategy,
+            "summarizer": self.summarizer.name,
+            "summary_size": self.summary_size,
+            "transport": transport_used,
+            "seed": self.seed,
+        }
+        if plan_reason is not None:
+            params["plan"] = plan_reason
         return RunResult(
             algorithm=self.name,
             solution=solution,
             stats=stats,
-            params={
-                "k": self.constraint.total_size,
-                "shards": self.planner.num_shards,
-                "backend": self.backend.name,
-                "strategy": self.planner.strategy,
-                "summarizer": self.summarizer.name,
-                "summary_size": self.summary_size,
-                "seed": self.seed,
-            },
+            params=params,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        backend = "auto" if self._auto_backend else self.backend.name
+        shards = "auto" if self._auto_shards else self.planner.num_shards
         return (
-            f"ParallelFDM(shards={self.planner.num_shards}, "
-            f"backend={self.backend.name!r}, strategy={self.planner.strategy!r}, "
-            f"summarizer={self.summarizer.name!r})"
+            f"ParallelFDM(shards={shards}, backend={backend!r}, "
+            f"strategy={self.planner.strategy!r}, "
+            f"summarizer={self.summarizer.name!r}, transport={self.transport!r})"
         )

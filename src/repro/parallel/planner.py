@@ -1,8 +1,13 @@
-"""Shard planning: how a stream is partitioned across workers.
+"""Shard planning: how a stream is partitioned and where the shards run.
 
-The planner turns a :class:`~repro.streaming.stream.DataStream` (or any
-element sequence) into a list of shards — disjoint element lists whose
-concatenation covers the input — using one of two strategies:
+Two planners live here.  :class:`ShardPlanner` turns a
+:class:`~repro.streaming.stream.DataStream` (or any element sequence)
+into a list of shards — disjoint element lists whose concatenation covers
+the input — and :class:`ExecutionPlanner` decides, from the input size,
+the dimensionality, and the usable CPU count, *which backend and how many
+shards* are worth using at all (``backend="auto"``).
+
+:class:`ShardPlanner` supports two strategies:
 
 ``"contiguous"``
     Consecutive, near-equal slices of the stream order (the classic
@@ -26,10 +31,12 @@ gracefully to one element per shard.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+import math
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.core.coreset import partition_elements
 from repro.data.element import Element
+from repro.parallel.backends import usable_cpus
 from repro.utils.errors import EmptyStreamError, InvalidParameterError
 from repro.utils.validation import require_positive_int
 
@@ -93,3 +100,99 @@ class ShardPlanner:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ShardPlanner(num_shards={self.num_shards}, strategy={self.strategy!r})"
+
+
+class ExecutionPlan(NamedTuple):
+    """One adaptive execution decision: backend, shard count, chunking.
+
+    ``reason`` is a short human-readable justification recorded in the
+    run's params so a trace reader can see *why* a run stayed serial.
+    """
+
+    backend: str
+    shards: int
+    chunk_size: int
+    reason: str
+
+
+class ExecutionPlanner:
+    """Pick backend, shard count, and chunking from a tunable cost model.
+
+    The model is deliberately coarse — three knobs, all in row units —
+    because the decision it guards is coarse: forking a process pool and
+    shipping shards only pays off once the per-shard summary work
+    dominates the fixed pool start-up cost.  Wider feature rows mean more
+    kernel work per row, so the effective size scales ``n · max(1, d/8)``.
+
+    Parameters
+    ----------
+    serial_cutoff:
+        Effective rows below which the plan always stays serial (default
+        32 768 — at that size a full per-shard summary takes milliseconds,
+        less than a process pool costs to start).
+    rows_per_shard:
+        Target effective rows per shard; the shard count is the input
+        size divided by this, clamped to ``[1, max_shards]`` (and to the
+        CPU count on the process backend — more workers than cores only
+        adds scheduling overhead).
+    max_shards:
+        Hard upper bound on the planned shard count (default 32).
+    cpus:
+        Usable CPU count override, for tests; defaults to the scheduler
+        affinity mask via :func:`~repro.parallel.backends.usable_cpus`.
+
+    The decision never affects the computed solution — backends are
+    solution-transparent by construction — so an ``"auto"`` run on a
+    laptop and on a 64-core box return byte-identical answers.
+    """
+
+    def __init__(
+        self,
+        serial_cutoff: int = 32_768,
+        rows_per_shard: int = 16_384,
+        max_shards: int = 32,
+        cpus: Optional[int] = None,
+    ) -> None:
+        self.serial_cutoff = require_positive_int(serial_cutoff, "serial_cutoff")
+        self.rows_per_shard = require_positive_int(rows_per_shard, "rows_per_shard")
+        self.max_shards = require_positive_int(max_shards, "max_shards")
+        self.cpus = cpus if cpus is None else require_positive_int(cpus, "cpus")
+
+    def _effective_rows(self, n: int, dim: int) -> int:
+        """Input size scaled by kernel work per row (``n · max(1, d/8)``)."""
+        return int(n * max(1.0, dim / 8.0))
+
+    def plan(self, n: int, dim: int = 1) -> ExecutionPlan:
+        """The execution decision for an input of ``n`` rows of width ``dim``.
+
+        Small inputs stay serial with just enough shards to keep the merge
+        tree exercised; large inputs on a multi-core machine go to the
+        process backend with one shard per usable CPU (or more, up to the
+        per-shard row target, so shards stay cache-sized).
+        """
+        cpus = self.cpus if self.cpus is not None else usable_cpus()
+        rows = self._effective_rows(max(n, 1), max(dim, 1))
+        by_rows = max(1, math.ceil(rows / self.rows_per_shard))
+        if rows < self.serial_cutoff or cpus <= 1:
+            shards = min(4, by_rows, self.max_shards)
+            reason = (
+                f"single usable cpu (n={n})"
+                if cpus <= 1
+                else f"input below serial cutoff ({rows} < {self.serial_cutoff} effective rows)"
+            )
+            return ExecutionPlan("serial", shards, self._chunk(n, shards), reason)
+        shards = min(self.max_shards, max(cpus, min(by_rows, 2 * cpus)))
+        reason = f"{rows} effective rows across {cpus} usable cpus"
+        return ExecutionPlan("process", shards, self._chunk(n, shards), reason)
+
+    def _chunk(self, n: int, shards: int) -> int:
+        """A power-of-two ingestion chunk sized to ~1/8 of a shard."""
+        per_shard = max(1, n // max(shards, 1))
+        target = max(256, min(4096, per_shard // 8))
+        return 1 << (target - 1).bit_length()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExecutionPlanner(serial_cutoff={self.serial_cutoff}, "
+            f"rows_per_shard={self.rows_per_shard}, max_shards={self.max_shards})"
+        )

@@ -27,19 +27,24 @@ the process backend can pickle them into workers:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.candidate import Candidate
 from repro.core.coreset import gmm_coreset
 from repro.core.guesses import GuessLadder
+from repro.data.store import ElementStore
 from repro.metrics.base import Metric
 from repro.metrics.space import exact_distance_bounds
 from repro.data.element import Element
 from repro.streaming.stream import iter_batches
 from repro.utils.errors import InvalidParameterError
 from repro.utils.validation import require_in_open_interval, require_positive_int
+
+#: What a summarizer accepts: an element sequence or a columnar store
+#: (the zero-copy form shm-shipped shards arrive in).
+ShardData = Union[Sequence[Element], ElementStore]
 
 
 def _first_k_per_group(elements: Sequence[Element], k: int) -> List[Element]:
@@ -72,7 +77,7 @@ class ShardSummarizer(ABC):
     @abstractmethod
     def summarize(
         self,
-        elements: Sequence[Element],
+        elements: ShardData,
         metric: Metric,
         k: int,
         start_index: int = 0,
@@ -82,7 +87,10 @@ class ShardSummarizer(ABC):
         Parameters
         ----------
         elements:
-            The shard, in stream order.
+            The shard, in stream order — an element sequence or a columnar
+            :class:`~repro.data.store.ElementStore` (the summary is
+            identical either way; the store form lets the GMM rule run
+            directly on the columns).
         metric:
             Distance metric shared by every shard.
         k:
@@ -101,12 +109,17 @@ class GMMShardSummarizer(ShardSummarizer):
 
     def summarize(
         self,
-        elements: Sequence[Element],
+        elements: ShardData,
         metric: Metric,
         k: int,
         start_index: int = 0,
     ) -> List[Element]:
-        """``k`` blind GMM picks plus ``k`` picks per group present in the shard."""
+        """``k`` blind GMM picks plus ``k`` picks per group present in the shard.
+
+        Store-form shards run straight on the columnar kernels
+        (:func:`~repro.core.coreset.gmm_coreset` handles both forms with
+        bitwise-identical selections and distance accounting).
+        """
         return gmm_coreset(elements, metric, k, per_group=True, start_index=start_index)
 
 
@@ -134,7 +147,7 @@ class StreamShardSummarizer(ShardSummarizer):
 
     def summarize(
         self,
-        elements: Sequence[Element],
+        elements: ShardData,
         metric: Metric,
         k: int,
         start_index: int = 0,
@@ -144,9 +157,12 @@ class StreamShardSummarizer(ShardSummarizer):
         Distance bounds are estimated on the first chunk and widened by the
         same factor-4 margin the streaming algorithms use; ``start_index``
         is unused (the one-pass rule has no seed choice) but kept so every
-        summarizer shares one call signature.
+        summarizer shares one call signature.  Store-form shards are
+        consumed as their (zero-copy) element views.
         """
         del start_index  # the one-pass threshold rule has no seed element
+        if isinstance(elements, ElementStore):
+            elements = elements.elements()
         chunks = list(iter_batches(elements, self.chunk_size))
         if not chunks:
             return []

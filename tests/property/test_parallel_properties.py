@@ -1,6 +1,6 @@
 """Property tests for the parallel engine's core guarantees.
 
-Two families:
+Three families:
 
 * **backend transparency** — for a fixed ``(stream seed, shards,
   strategy, run seed)`` the computed solution is identical on every
@@ -8,6 +8,12 @@ Two families:
   they compute.  Serial vs. thread is exercised densely via Hypothesis;
   the process backend (which forks worker processes) is pinned with a
   representative parametrised matrix to keep the suite fast.
+
+* **transport and planner transparency** — shipping shards through the
+  shared-memory block vs. pickled stores, and letting the execution
+  planner pick the backend/shard count (``"auto"``), are equally
+  invisible: uids, diversity values, and charged distance counts all
+  match the serial reference exactly.
 
 * **composable-coreset quality** — the diversity obtained through the
   sharded merge-tree route stays within the composable-coreset factor of
@@ -37,7 +43,16 @@ def _dataset(n, m, seed):
     return synthetic_blobs(n=n, m=m, seed=seed)
 
 
-def _run(dataset, constraint, shards, backend, strategy, seed, summarizer="gmm"):
+def _run(
+    dataset,
+    constraint,
+    shards,
+    backend,
+    strategy,
+    seed,
+    summarizer="gmm",
+    transport="auto",
+):
     return ParallelFDM(
         metric=dataset.metric,
         constraint=constraint,
@@ -45,6 +60,7 @@ def _run(dataset, constraint, shards, backend, strategy, seed, summarizer="gmm")
         backend=backend,
         strategy=strategy,
         summarizer=summarizer,
+        transport=transport,
         seed=seed,
     ).run(dataset.stream(seed=seed))
 
@@ -92,6 +108,124 @@ class TestBackendTransparency:
         result = _run(dataset, constraint, shards, "serial", "stratified", seed)
         assert result.solution is not None
         assert result.solution.is_fair
+
+
+class TestTransportTransparency:
+    """The shard transport moves bytes, never changes what they compute."""
+
+    @pytest.mark.parametrize("shards", [1, 3, 5])
+    @pytest.mark.parametrize("seed", [0, 17])
+    def test_shm_equals_pickle_on_process_backend(self, shards, seed):
+        dataset = _dataset(240, 3, seed=9)
+        constraint = equal_representation(6, list(dataset.group_sizes()))
+        shm = _run(
+            dataset, constraint, shards, "process", "stratified", seed,
+            transport="shm",
+        )
+        pickled = _run(
+            dataset, constraint, shards, "process", "stratified", seed,
+            transport="pickle",
+        )
+        assert shm.params["transport"] in ("shm", "pickle")
+        assert pickled.params["transport"] == "pickle"
+        assert shm.solution.uids == pickled.solution.uids
+        assert shm.solution.diversity == pickled.solution.diversity
+        assert (
+            shm.stats.stream_distance_computations
+            == pickled.stats.stream_distance_computations
+        )
+        assert (
+            shm.stats.postprocess_distance_computations
+            == pickled.stats.postprocess_distance_computations
+        )
+
+    @pytest.mark.parametrize("transport", ["auto", "shm", "pickle"])
+    def test_every_transport_matches_the_serial_reference(self, transport):
+        dataset = _dataset(200, 2, seed=13)
+        constraint = equal_representation(6, list(dataset.group_sizes()))
+        serial = _run(dataset, constraint, 4, "serial", "stratified", seed=2)
+        process = _run(
+            dataset, constraint, 4, "process", "stratified", seed=2,
+            transport=transport,
+        )
+        assert serial.solution.uids == process.solution.uids
+        assert serial.solution.diversity == process.solution.diversity
+        assert (
+            serial.stats.stream_distance_computations
+            == process.stats.stream_distance_computations
+        )
+
+    def test_stream_summarizer_identical_across_transports(self):
+        dataset = _dataset(300, 2, seed=23)
+        constraint = equal_representation(6, list(dataset.group_sizes()))
+        runs = [
+            _run(
+                dataset, constraint, 4, backend, "stratified", seed=8,
+                summarizer="stream", transport=transport,
+            )
+            for backend, transport in (
+                ("serial", "auto"),
+                ("process", "shm"),
+                ("process", "pickle"),
+            )
+        ]
+        uids = {tuple(run.solution.uids) for run in runs}
+        counts = {run.stats.stream_distance_computations for run in runs}
+        assert len(uids) == 1 and len(counts) == 1
+
+
+class TestAutoPlanning:
+    """``"auto"`` picks where to run; the answer must not depend on it."""
+
+    def test_auto_backend_matches_explicit_configuration(self):
+        from repro.parallel import ExecutionPlanner
+
+        dataset = _dataset(180, 2, seed=31)
+        constraint = equal_representation(6, list(dataset.group_sizes()))
+        auto = ParallelFDM(
+            metric=dataset.metric,
+            constraint=constraint,
+            shards="auto",
+            backend="auto",
+            seed=4,
+        ).run(dataset.stream(seed=4))
+        planned = ExecutionPlanner().plan(180, dim=2)
+        explicit = _run(
+            dataset, constraint, planned.shards, planned.backend, "stratified",
+            seed=4,
+        )
+        assert auto.params["shards"] == planned.shards
+        assert auto.params["backend"] == planned.backend
+        assert auto.params["plan"] == planned.reason
+        assert auto.solution.uids == explicit.solution.uids
+        assert auto.solution.diversity == explicit.solution.diversity
+
+    def test_forced_multicore_auto_plan_is_solution_transparent(self):
+        from repro.parallel import ExecutionPlanner
+
+        dataset = _dataset(220, 2, seed=37)
+        constraint = equal_representation(6, list(dataset.group_sizes()))
+        # A planner pretending to see 4 CPUs and a tiny cutoff must pick the
+        # process backend — and still reproduce the serial answer exactly.
+        planner = ExecutionPlanner(serial_cutoff=2, rows_per_shard=64, cpus=4)
+        auto = ParallelFDM(
+            metric=dataset.metric,
+            constraint=constraint,
+            shards="auto",
+            backend="auto",
+            planner=planner,
+            seed=6,
+        ).run(dataset.stream(seed=6))
+        assert auto.params["backend"] == "process"
+        reference = _run(
+            dataset, constraint, auto.params["shards"], "serial", "stratified",
+            seed=6,
+        )
+        assert auto.solution.uids == reference.solution.uids
+        assert (
+            auto.stats.stream_distance_computations
+            == reference.stats.stream_distance_computations
+        )
 
 
 class TestComposableCoresetQuality:

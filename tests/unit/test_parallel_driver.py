@@ -8,8 +8,9 @@ from repro.fairness.constraints import equal_representation
 from repro.metrics.base import CallableMetric
 from repro.metrics.vector import EuclideanMetric
 from repro.data.store import ElementStore
-from repro.parallel import ParallelFDM, merge_tree
+from repro.parallel import ExecutionPlanner, ParallelFDM, merge_tree
 from repro.parallel.driver import _summarize_shard, _ShardJob
+from repro.parallel.shm import ShardRef, ship_shards, shm_available
 from repro.parallel.merge import merge_pair
 from repro.parallel.summarize import (
     GMMShardSummarizer,
@@ -30,10 +31,12 @@ def _elements(count, period=2):
 
 
 class TestShardShipping:
-    def test_store_shard_preserves_elements(self):
+    def test_pickle_transport_ships_columnar_stores(self):
         elements = _elements(7, period=3)
         elements[2].label = "special"
-        shipped = ParallelFDM._ship_shard(elements)
+        payloads, block, used = ship_shards([elements], transport="pickle")
+        assert block is None and used == "pickle"
+        (shipped,) = payloads
         assert isinstance(shipped, ElementStore)
         rebuilt = shipped.elements()
         assert [e.uid for e in rebuilt] == [e.uid for e in elements]
@@ -43,24 +46,30 @@ class TestShardShipping:
             np.allclose(a.vector, b.vector) for a, b in zip(rebuilt, elements)
         )
 
-    def test_numeric_payloads_ship_as_one_matrix(self):
-        shipped = ParallelFDM._ship_shard(_elements(5))
-        assert isinstance(shipped, ElementStore)
-        assert shipped.features.shape == (5, 2)
-        assert shipped.labels is None
+    def test_shm_transport_ships_descriptors(self):
+        if not shm_available():
+            pytest.skip("shared memory unavailable on this platform")
+        payloads, block, used = ship_shards([_elements(5), _elements(4)])
+        try:
+            assert used == "shm" and block is not None
+            assert all(isinstance(ref, ShardRef) for ref in payloads)
+            with payloads[0].attach() as attached:
+                assert attached.store.features.shape == (5, 2)
+        finally:
+            if block is not None:
+                block.dispose()
 
-    def test_ragged_payloads_fall_back_to_column_shard(self):
+    def test_ragged_payloads_fall_back_to_element_lists(self):
         elements = [
             Element(uid=0, vector=np.array([1.0]), group=0),
             Element(uid=1, vector=np.array([1.0, 2.0]), group=1),
         ]
-        shipped = ParallelFDM._ship_shard(elements)
+        payloads, block, used = ship_shards([elements])
+        assert block is None and used == "pickle"
+        (shipped,) = payloads
         assert not isinstance(shipped, ElementStore)
-        assert list(shipped.uids) == [0, 1]
-        assert list(shipped.groups) == [0, 1]
-        rebuilt = shipped.elements()
-        assert [e.uid for e in rebuilt] == [0, 1]
-        assert np.allclose(rebuilt[1].vector, [1.0, 2.0])
+        assert [e.uid for e in shipped] == [0, 1]
+        assert np.allclose(shipped[1].vector, [1.0, 2.0])
 
     def test_summary_elements_detach_from_store_when_pickled(self):
         import pickle
@@ -187,6 +196,8 @@ class TestParallelFDM:
             ParallelFDM(METRIC, constraint, summarizer="magic")
         with pytest.raises(InvalidParameterError):
             ParallelFDM(METRIC, constraint, summary_size=0)
+        with pytest.raises(InvalidParameterError):
+            ParallelFDM(METRIC, constraint, transport="carrier-pigeon")
 
     def test_run_returns_fair_solution_and_accounting(self):
         dataset = synthetic_blobs(n=600, m=3, seed=5)
@@ -244,3 +255,63 @@ class TestParallelFDM:
             dataset.metric, constraint, shards=4, strategy="contiguous"
         ).run(dataset.stream(seed=1))
         assert result.solution.is_fair
+
+    def test_auto_plan_recorded_in_params(self):
+        dataset = synthetic_blobs(n=120, m=2, seed=4)
+        constraint = equal_representation(4, list(dataset.group_sizes()))
+        result = ParallelFDM(
+            dataset.metric, constraint, shards="auto", backend="auto"
+        ).run(dataset.stream(seed=1))
+        assert result.solution.is_fair
+        assert result.params["backend"] in ("serial", "thread", "process")
+        assert isinstance(result.params["shards"], int)
+        assert "plan" in result.params
+
+    def test_inline_transport_for_in_process_backends(self):
+        dataset = synthetic_blobs(n=120, m=2, seed=4)
+        constraint = equal_representation(4, list(dataset.group_sizes()))
+        for backend in ("serial", "thread"):
+            result = ParallelFDM(
+                dataset.metric, constraint, shards=3, backend=backend
+            ).run(dataset.stream(seed=1))
+            assert result.params["transport"] == "inline"
+
+
+class TestExecutionPlanner:
+    def test_small_inputs_stay_serial(self):
+        plan = ExecutionPlanner(cpus=16).plan(1000, dim=2)
+        assert plan.backend == "serial"
+        assert 1 <= plan.shards <= 4
+        assert "cutoff" in plan.reason
+
+    def test_single_cpu_stays_serial_at_any_size(self):
+        plan = ExecutionPlanner(cpus=1).plan(10_000_000, dim=32)
+        assert plan.backend == "serial"
+        assert "single usable cpu" in plan.reason
+
+    def test_large_inputs_go_to_processes(self):
+        plan = ExecutionPlanner(cpus=8).plan(1_000_000, dim=8)
+        assert plan.backend == "process"
+        assert 8 <= plan.shards <= 16
+
+    def test_wide_rows_lower_the_cutoff(self):
+        narrow = ExecutionPlanner(cpus=8).plan(20_000, dim=2)
+        wide = ExecutionPlanner(cpus=8).plan(20_000, dim=128)
+        assert narrow.backend == "serial"
+        assert wide.backend == "process"
+
+    def test_shards_are_bounded(self):
+        plan = ExecutionPlanner(cpus=64, max_shards=32).plan(100_000_000, dim=8)
+        assert plan.shards == 32
+
+    def test_chunk_size_is_a_bounded_power_of_two(self):
+        for n in (100, 10_000, 10_000_000):
+            plan = ExecutionPlanner(cpus=4).plan(n, dim=2)
+            assert 256 <= plan.chunk_size <= 4096
+            assert plan.chunk_size & (plan.chunk_size - 1) == 0
+
+    def test_planner_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ExecutionPlanner(serial_cutoff=0)
+        with pytest.raises(InvalidParameterError):
+            ExecutionPlanner(cpus=0)

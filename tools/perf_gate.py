@@ -26,6 +26,14 @@ section and a fresh smoke run must both show the disabled tracing path
 accounting for <= 2% of the SFDM2 ingest wall-clock, with traced and
 untraced runs charging identical distance counts.
 
+And the parallel layer (``benchmarks/bench_parallel_scaling.py``): the
+committed ``parallel_scaling`` / ``parallel_scaling_smoke`` sections and
+a fresh smoke run must all show identical solutions across backends and
+transports and a shared-memory per-worker payload strictly below the
+pickle payload (both hardware-independent); when the committed
+acceptance-scale section was recorded on >= 4 cores, the process+shm
+speedup at the reference shard count must be at least 1.5x over serial.
+
 Exit status 0 means no regression (or hardware mismatch, reported); 1
 means a check failed.  Refresh the baseline by re-running
 ``make bench-hot`` (acceptance scale) and the smoke bench
@@ -50,6 +58,14 @@ INDEX_SECTION = "index"
 INDEX_SMOKE_SECTION = "index_smoke"
 OBS_SECTION = "obs_overhead"
 OBS_SMOKE_SECTION = "obs_overhead_smoke"
+PARALLEL_SECTION = "parallel_scaling"
+PARALLEL_SMOKE_SECTION = "parallel_scaling_smoke"
+
+#: Acceptance bar on the committed acceptance-scale ``parallel_scaling``
+#: section when it was recorded on multi-core hardware: the process
+#: backend with the shm transport must beat serial by this factor at the
+#: reference shard count.
+PARALLEL_TARGET_SPEEDUP = 1.5
 
 #: Acceptance bar on the observability sections: the disabled tracing
 #: path may account for at most this share of the SFDM2 ingest time.
@@ -138,6 +154,23 @@ def _check_obs_overhead(section: dict, label: str, failures: list) -> None:
         )
 
 
+def _check_parallel_transport(section: dict, label: str, failures: list) -> None:
+    """Solution identity and the shm-beats-pickle payload claim on one section."""
+    if section.get("solutions_identical") is not True:
+        failures.append(
+            f"{label}: cross-backend/transport solutions are not identical"
+        )
+    shm_bytes = section.get("shm_payload_bytes")
+    pickle_bytes = section.get("pickle_payload_bytes")
+    if shm_bytes is None or pickle_bytes is None:
+        failures.append(f"{label}: missing shm/pickle payload byte counts")
+    elif int(shm_bytes) >= int(pickle_bytes):
+        failures.append(
+            f"{label}: shm payload ({shm_bytes} B) does not undercut "
+            f"pickle payload ({pickle_bytes} B)"
+        )
+
+
 def _check_index_counts(section: dict, label: str, failures: list) -> None:
     """The never-more-evaluations invariant over one index bench section."""
     for brute_key, indexed_key in INDEX_EVAL_PAIRS:
@@ -191,6 +224,15 @@ def main(argv=None) -> int:
             f"`make bench-obs` and the smoke bench, then commit the JSON"
         )
 
+    parallel_baseline = baseline_data.get(PARALLEL_SECTION)
+    parallel_smoke_baseline = baseline_data.get(PARALLEL_SMOKE_SECTION)
+    if parallel_baseline is None or parallel_smoke_baseline is None:
+        raise SystemExit(
+            f"perf gate: baseline {BASELINE_PATH.name} is missing the "
+            f"{PARALLEL_SECTION!r}/{PARALLEL_SMOKE_SECTION!r} sections; run "
+            f"`make bench-parallel` and the smoke bench, then commit the JSON"
+        )
+
     with tempfile.TemporaryDirectory(prefix="perf-gate-") as scratch_dir:
         fresh = _run_smoke_bench(
             int(baseline.get("n", 8000)), Path(scratch_dir) / "bench.json"
@@ -209,6 +251,16 @@ def main(argv=None) -> int:
             },
             Path(scratch_dir) / "bench_obs.json",
             OBS_SMOKE_SECTION,
+        )
+        fresh_parallel = _run_bench(
+            "benchmarks/bench_parallel_scaling.py::test_parallel_scaling",
+            {
+                "REPRO_BENCH_PARALLEL_N": str(
+                    parallel_smoke_baseline.get("n", 4000)
+                ),
+            },
+            Path(scratch_dir) / "bench_parallel.json",
+            PARALLEL_SMOKE_SECTION,
         )
 
     failures = []
@@ -250,6 +302,44 @@ def main(argv=None) -> int:
         if expected is not None and actual != expected:
             failures.append(
                 f"{INDEX_SMOKE_SECTION}.{key} changed: {actual} != baseline {expected}"
+            )
+
+    # --- Parallel layer ----------------------------------------------
+    # Solution identity across backends and transports, and the payload
+    # claim (descriptors beat column pickles), hold on any hardware; the
+    # committed sections carry the recorded claim and the fresh smoke run
+    # re-proves both on this machine.
+    _check_parallel_transport(parallel_baseline, PARALLEL_SECTION, failures)
+    _check_parallel_transport(
+        parallel_smoke_baseline, PARALLEL_SMOKE_SECTION, failures
+    )
+    _check_parallel_transport(
+        fresh_parallel, f"{PARALLEL_SMOKE_SECTION} (fresh)", failures
+    )
+    # The pickled-store payload is deterministic for a fixed n/dim/plan.
+    expected_payload = parallel_smoke_baseline.get("pickle_payload_bytes")
+    actual_payload = fresh_parallel.get("pickle_payload_bytes")
+    if expected_payload is not None and actual_payload != expected_payload:
+        failures.append(
+            f"{PARALLEL_SMOKE_SECTION}.pickle_payload_bytes changed: "
+            f"{actual_payload} != baseline {expected_payload}"
+        )
+    # Wall-clock speedup is only meaningful where true CPU parallelism
+    # exists: gate the committed acceptance-scale claim on the hardware it
+    # was recorded on.
+    if int(parallel_baseline.get("cpus", 1)) >= 4:
+        reference = str(parallel_baseline.get("shards", 4))
+        recorded = (
+            parallel_baseline.get("per_shards", {}).get(reference, {}).get("speedup")
+        )
+        if recorded is None:
+            failures.append(
+                f"{PARALLEL_SECTION}: missing per_shards[{reference!r}].speedup"
+            )
+        elif float(recorded) < PARALLEL_TARGET_SPEEDUP:
+            failures.append(
+                f"{PARALLEL_SECTION}: process+shm speedup {float(recorded):.2f}x "
+                f"below the {PARALLEL_TARGET_SPEEDUP:g}x multi-core bar"
             )
 
     # Accounting is deterministic for a fixed seed/scale on any hardware.
@@ -300,7 +390,9 @@ def main(argv=None) -> int:
         f"(ingest {fresh_ratio:.2f}x vs baseline {base_ratio:.2f}x, "
         f"store ingest {float(fresh.get('sfdm2_ingest_store_s', 0.0)):.3f}s, "
         f"index reduction {best_reduction:.2f}x at acceptance scale, "
-        f"tracing overhead {float(fresh_obs.get('disabled_overhead_pct', 0.0)):.3f}%)"
+        f"tracing overhead {float(fresh_obs.get('disabled_overhead_pct', 0.0)):.3f}%, "
+        f"shm payload {float(fresh_parallel.get('payload_reduction', 0.0)):.0f}x "
+        f"below pickle)"
     )
     return 0
 
