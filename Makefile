@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast cov golden bench-smoke bench-batch bench-parallel bench-hot bench-window bench-index bench-obs trace-smoke perf-gate docs-check api-check api-surface ci
+.PHONY: test test-fast cov golden bench-smoke bench-batch bench-parallel bench-hot bench-window bench-index bench-obs bench-serving serve-smoke trace-smoke perf-gate docs-check api-check api-surface ci
 
 ## Run the full test suite (tier-1 gate).
 test:
@@ -37,6 +37,7 @@ bench-smoke:
 	REPRO_BENCH_WINDOW_N=6000 $(PYTHON) -m pytest benchmarks/bench_window.py -q -s
 	REPRO_BENCH_INDEX_N=4000 $(PYTHON) -m pytest benchmarks/bench_index.py -q -s
 	REPRO_BENCH_OBS_N=8000 $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
+	REPRO_BENCH_SERVING_ROWS=4000 $(PYTHON) -m pytest benchmarks/bench_serving.py -q -s
 	REPRO_BENCH_N=500 $(PYTHON) -m pytest benchmarks/bench_fig7_time_vs_k.py -q -s
 
 ## Acceptance-scale batch engine benchmark (SFDM2, n = 50_000, >= 5x).
@@ -81,6 +82,23 @@ bench-index:
 bench-obs:
 	$(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
 
+## Acceptance-scale serving benchmark (HTTP load generation over 100_000
+## rows across 8 sessions: sustained offers/s, p99 solution-query
+## latency, micro-batched vs unbatched front end, plus the always-on
+## eviction-identity schedule). Refreshes the `serving` section of
+## BENCH_hot_paths.json; the smoke run (`make bench-smoke` / `make ci`)
+## refreshes `serving_smoke`, which the perf gate re-proves.
+bench-serving:
+	$(PYTHON) -m pytest benchmarks/bench_serving.py -q -s
+
+## Serving smoke test: start `repro serve` on an ephemeral port and run a
+## scripted client through the full lifecycle — create sessions past the
+## live bound (forcing an eviction), offer rows (forcing a restore),
+## query solutions, overflow the bounded queue (429), then SIGTERM and
+## assert a clean drain with resumable checkpoints.
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
+
 ## Trace smoke test: run one traced SFDM2 solve through the CLI and
 ## validate the emitted JSONL against the span schema + taxonomy
 ## (tools/check_trace.py).
@@ -120,5 +138,6 @@ api-surface:
 
 ## One-command PR gate: tests, docstring completeness, API-surface drift,
 ## the line-coverage gate, the smoke-scale benchmark pass, the traced-run
-## schema smoke, and the perf-regression gate.
-ci: test docs-check api-check cov bench-smoke trace-smoke perf-gate
+## schema smoke, the serving end-to-end smoke, and the perf-regression
+## gate.
+ci: test docs-check api-check cov bench-smoke trace-smoke serve-smoke perf-gate

@@ -1,10 +1,13 @@
-"""A long-lived ingestion service built on the session API.
+"""A multi-tenant ingestion service on the HTTP serving layer.
 
-Simulates the serving pattern the session API exists for: feature rows
-arrive in irregular mini-batches (as they would from a request queue), the
-service answers "current best fair selection" queries mid-stream, restarts
-itself from a checkpoint halfway through, and ends with exactly the answer
-an uninterrupted consumer would have produced.  Run with::
+Spins up the real serving stack in-process (`ServerThread` runs the same
+asyncio server `repro serve` does, on an ephemeral port) and drives it
+over actual HTTP with `ServingClient`: two tenants stream irregular
+mini-batches of feature rows, answer "current best fair selection"
+queries mid-stream, get LRU-evicted to checkpoints when a third tenant
+arrives, and are restored transparently on their next request.  The
+shutdown drain leaves every tenant a checkpoint that `repro.resume()`
+continues byte-identically.  Run with::
 
     python examples/streaming_service.py
 """
@@ -20,46 +23,84 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 import repro  # noqa: E402
+from repro.serving import ManagerConfig, ServerThread, ServingClient  # noqa: E402
 
 
 def main() -> None:
     rng = np.random.default_rng(42)
-    k, m, total = 10, 2, 4_000
+    k, m, total = 10, 2, 3_000
 
-    # A session needs no data up front — just the problem shape.
-    session = repro.open_session(k=k, groups=range(m), algorithm="SFDM2")
-    print(f"opened: {session!r}")
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as scratch:
+        state_dir = Path(scratch) / "state"
+        config = ManagerConfig(
+            state_dir=state_dir,
+            max_live=2,        # third tenant forces an LRU eviction
+            max_batch=256,     # micro-batch rows into the vectorised kernels
+            flush_ms=5.0,
+        )
+        with ServerThread(config) as server:
+            print(f"serving on {server.base_url}")
+            client = ServingClient("127.0.0.1", server.port)
 
-    # Traffic: irregular mini-batches of raw feature rows.
-    offered = 0
-    checkpoint_path = Path(tempfile.gettempdir()) / "repro-service.ckpt"
-    while offered < total:
-        batch = int(rng.integers(50, 400))
-        centers = rng.integers(0, 8, size=batch)
-        rows = rng.normal(loc=centers[:, None] * 2.0, scale=0.6, size=(batch, 3))
-        session.offer_rows(rows, groups=rng.integers(0, m, size=batch))
-        offered += batch
+            # Tenants need no data up front — just the problem shape.
+            for tenant in ("tenant-a", "tenant-b"):
+                client.create_session(name=tenant, k=k, groups=m,
+                                      algorithm="SFDM2")
+            print(f"healthz: {client.healthz()}")
 
-        if offered >= total // 2 and not checkpoint_path.exists():
-            # Mid-stream query: side-effect free, full RunResult.
-            answer = session.solution()
+            # Traffic: irregular mini-batches, round-robin across tenants.
+            offered = 0
+            while offered < total:
+                batch = int(rng.integers(50, 400))
+                centers = rng.integers(0, 8, size=batch)
+                rows = rng.normal(loc=centers[:, None] * 2.0, scale=0.6,
+                                  size=(batch, 3))
+                tenant = ("tenant-a", "tenant-b")[offered // 400 % 2]
+                client.offer(tenant, rows, groups=rng.integers(0, m, size=batch))
+                offered += batch
+
+                if offered >= total // 2 and client.healthz()["sessions"] == 2:
+                    # Mid-stream query: side-effect free, full payload.
+                    answer = client.solution(tenant)
+                    print(
+                        f"{tenant} after {answer['elements_processed']} rows: "
+                        f"diversity={answer['diversity']:.3f}, "
+                        f"fair={answer['is_fair']}"
+                    )
+                    # A third tenant arrives; with max_live=2 the coldest
+                    # session is evicted to a checkpoint behind the scenes.
+                    client.create_session(name="tenant-c", k=k, groups=m)
+                    newcomer = rng.normal(scale=2.0, size=(64, 3))
+                    client.offer("tenant-c", newcomer,
+                                 groups=rng.integers(0, m, size=64))
+
+            metrics = client.metrics()
             print(
-                f"after {session.elements_offered} rows: "
-                f"diversity={answer.diversity:.3f}, fair={answer.solution.is_fair}"
+                f"evicted={metrics['repro.serving.sessions.evicted']} "
+                f"restored={metrics['repro.serving.sessions.restored']} "
+                f"(touching an evicted tenant restores it transparently)"
             )
-            # Simulated redeploy: snapshot, drop the process state, resume.
-            session.checkpoint(checkpoint_path)
-            session = repro.resume(checkpoint_path)
-            print(f"resumed from {checkpoint_path.name}: {session!r}")
 
-    final = session.solution()
-    print(
-        f"final: {final.algorithm} over {final.stats.elements_processed} rows, "
-        f"diversity={final.diversity:.3f}, fair={final.solution.is_fair}, "
-        f"stored={final.stats.peak_stored_elements} elements, "
-        f"{final.stats.total_distance_computations} distance computations"
-    )
-    checkpoint_path.unlink(missing_ok=True)
+            for tenant in ("tenant-a", "tenant-b", "tenant-c"):
+                answer = client.solution(tenant)
+                print(
+                    f"{tenant}: {answer['algorithm']} over "
+                    f"{answer['elements_processed']} rows, "
+                    f"diversity={answer['diversity']:.3f}, "
+                    f"fair={answer['is_fair']}"
+                )
+
+            # Graceful shutdown: drain checkpoints every open session.
+            drained = server.stop(drain=True)
+            print(f"drained {len(drained)} tenant(s) to {state_dir.name}/")
+
+        # The drained checkpoints resume outside the server.
+        session = repro.resume(state_dir / "tenant-a.ckpt")
+        final = session.solution()
+        print(
+            f"resumed tenant-a offline: {final.stats.elements_processed} rows, "
+            f"diversity={final.diversity:.3f}, fair={final.solution.is_fair}"
+        )
 
 
 if __name__ == "__main__":

@@ -113,6 +113,7 @@ from repro.api import (
     solve,
 )
 from repro.utils import (
+    CheckpointError,
     EmptyStreamError,
     InfeasibleConstraintError,
     InvalidParameterError,
@@ -205,6 +206,7 @@ __all__ = [
     "ReproError",
     "InvalidParameterError",
     "InfeasibleConstraintError",
+    "CheckpointError",
     "EmptyStreamError",
     "NoFeasibleSolutionError",
     "__version__",

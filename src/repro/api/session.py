@@ -33,6 +33,7 @@ from __future__ import annotations
 import copy
 import os
 import pickle
+import tempfile
 from pathlib import Path
 from typing import Any, Iterable, List, Optional, Sequence, Union
 
@@ -46,6 +47,7 @@ from repro.metrics.cached import CountingMetric
 from repro.metrics.space import exact_distance_bounds
 from repro.streaming.stats import StreamStats
 from repro.utils.errors import (
+    CheckpointError,
     EmptyStreamError,
     InvalidParameterError,
     NoFeasibleSolutionError,
@@ -173,6 +175,20 @@ class SessionBase:
         Elements that are views of a columnar store detach on pickling, so
         a checkpoint never drags a whole dataset along.  Restore with
         :func:`repro.resume`.
+
+        The write is crash-safe: the payload goes to a uniquely named
+        temporary file in the target directory, is flushed and fsynced,
+        and only then atomically replaces ``path``.  An interruption at
+        any point — a raising pickler, a killed process — either leaves
+        the previous checkpoint untouched or (on a clean failure) removes
+        the partial temp file; a truncated payload is never visible under
+        ``path``.
+
+        Raises
+        ------
+        CheckpointError
+            If the target directory does not exist / is not writable, or
+            the session state cannot be pickled.
         """
         path = Path(path)
         payload = {
@@ -181,10 +197,26 @@ class SessionBase:
             "algorithm": self.algorithm_name,
             "session": self,
         }
-        tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=path.name + ".", suffix=".tmp", dir=path.parent
+            )
+        except OSError as error:
+            raise CheckpointError(path, f"cannot create temp file ({error})") from error
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException as error:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - already gone
+                pass
+            if isinstance(error, (pickle.PicklingError, TypeError, AttributeError, OSError)):
+                raise CheckpointError(path, f"cannot write ({error})") from error
+            raise
         obs.event(
             "session.checkpoint",
             algorithm=self.algorithm_name,
@@ -205,19 +237,39 @@ def resume(path: Union[str, os.PathLike]) -> SessionBase:
     The restored session continues exactly where the checkpoint left off:
     feeding it the remaining stream suffix yields byte-identical solutions
     and equal distance counts to a session that was never interrupted.
+
+    Raises
+    ------
+    CheckpointError
+        If ``path`` does not exist, cannot be read, is not a pickle, is
+        truncated, or does not contain a repro session checkpoint.  The
+        message always names the offending path.
     """
-    with open(path, "rb") as handle:
-        payload = pickle.load(handle)
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except FileNotFoundError as error:
+        raise CheckpointError(path, "no such file") from error
+    except OSError as error:
+        raise CheckpointError(path, f"cannot read ({error})") from error
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+            IndexError, MemoryError, ValueError) as error:
+        # The pickle module surfaces corrupt/truncated/foreign payloads
+        # through any of these; fold them into one typed failure.
+        raise CheckpointError(
+            path, f"not a readable pickle ({type(error).__name__}: {error})"
+        ) from error
     if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
-        raise InvalidParameterError(f"{path} is not a repro session checkpoint")
+        raise CheckpointError(path, "not a repro session checkpoint")
     if payload.get("version") != CHECKPOINT_VERSION:
-        raise InvalidParameterError(
-            f"checkpoint version {payload.get('version')!r} is not supported "
-            f"(expected {CHECKPOINT_VERSION})"
+        raise CheckpointError(
+            path,
+            f"version {payload.get('version')!r} is not supported "
+            f"(expected {CHECKPOINT_VERSION})",
         )
     session = payload.get("session")
     if not isinstance(session, SessionBase):
-        raise InvalidParameterError(f"{path} does not contain a session object")
+        raise CheckpointError(path, "does not contain a session object")
     obs.event(
         "session.resume",
         algorithm=payload["algorithm"],

@@ -147,6 +147,72 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--output", help="write the result rows to this CSV file")
     compare_parser.set_defaults(func=_cmd_compare)
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the multi-tenant HTTP/JSON session server"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8747,
+        help="TCP port; 0 picks an ephemeral port (default 8747)",
+    )
+    serve_parser.add_argument(
+        "--state-dir",
+        default="serving-state",
+        help="directory for eviction/drain checkpoints (default ./serving-state)",
+    )
+    serve_parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=10_000,
+        help="total named sessions admitted, live + evicted (default 10000)",
+    )
+    serve_parser.add_argument(
+        "--max-live",
+        type=int,
+        default=256,
+        help="sessions resident in memory before LRU eviction (default 256)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="queued rows that force an immediate flush (default 256)",
+    )
+    serve_parser.add_argument(
+        "--flush-ms",
+        type=float,
+        default=20.0,
+        help="deadline before a partial offer queue flushes anyway (default 20)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=8_192,
+        help="per-session queued-row bound; beyond it offers get 429 (default 8192)",
+    )
+    serve_parser.add_argument(
+        "--default-algorithm",
+        choices=tuple(algorithm_names()),
+        default="SFDM2",
+        help="algorithm when a create request names none (default SFDM2)",
+    )
+    serve_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="emit hierarchical span traces to stderr while serving",
+    )
+    serve_parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write span traces as JSON lines to PATH (implies tracing)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
     return parser
 
 
@@ -342,6 +408,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         path = write_csv(rows, args.output, columns=_COLUMNS)
         print(f"wrote {path}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import ManagerConfig, run_server
+
+    config = ManagerConfig(
+        state_dir=args.state_dir,
+        max_sessions=args.max_sessions,
+        max_live=args.max_live,
+        max_batch=args.max_batch,
+        flush_ms=args.flush_ms,
+        max_queue=args.max_queue,
+        default_algorithm=args.default_algorithm,
+    )
+    return run_server(config, host=args.host, port=args.port)
 
 
 def _trace_scope(args: argparse.Namespace):

@@ -1,0 +1,65 @@
+"""Typed failures of the serving layer.
+
+Every error the :class:`~repro.serving.manager.SessionManager` raises on
+a *caller* mistake or an admission-control decision derives from
+:class:`~repro.utils.errors.ReproError`, so the HTTP front end can map
+each class to one status code (404, 409, 429) while embedding callers
+catch the library-wide base class.
+"""
+
+from __future__ import annotations
+
+from repro.utils.errors import ReproError
+
+
+class ServingError(ReproError):
+    """Base class for serving-layer failures."""
+
+
+class SessionNotFoundError(ServingError, KeyError):
+    """A request referenced a session name the manager does not know."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"no session named {name!r}")
+
+    def __str__(self) -> str:
+        """The plain message (``KeyError`` would repr-quote it)."""
+        return self.args[0]
+
+
+class SessionExistsError(ServingError, ValueError):
+    """A create request reused a session name that is already registered."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"session {name!r} already exists")
+
+
+class TooManySessionsError(ServingError, RuntimeError):
+    """The manager's total-session cap is reached (admission control)."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        super().__init__(
+            f"session limit reached ({limit}); close sessions or raise "
+            f"--max-sessions"
+        )
+
+
+class QueueFullError(ServingError, RuntimeError):
+    """A session's bounded offer queue overflowed (backpressure).
+
+    The HTTP front end turns this into a ``429 Too Many Requests`` so
+    well-behaved clients back off and retry; nothing from the rejected
+    offer is ingested.
+    """
+
+    def __init__(self, name: str, pending: int, limit: int) -> None:
+        self.name = name
+        self.pending = pending
+        self.limit = limit
+        super().__init__(
+            f"session {name!r} offer queue is full "
+            f"({pending} pending rows, limit {limit}); retry later"
+        )

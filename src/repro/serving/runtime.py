@@ -1,0 +1,129 @@
+"""In-process server runtime for tests, examples, and benchmarks.
+
+:class:`ServerThread` runs a :class:`~repro.serving.server.ServingServer`
+(plus its :class:`~repro.serving.manager.SessionManager`) on a dedicated
+event loop in a background thread, so synchronous code — pytest, the
+bench load generator, the example client — can talk to a *real* TCP
+endpoint without managing asyncio itself.  Signal handlers are never
+installed (they only work on the main thread); stop the server with
+:meth:`ServerThread.stop`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, Optional
+
+from repro.serving.manager import ManagerConfig, SessionManager
+from repro.serving.server import ServingServer
+
+
+class ServerThread:
+    """A serving endpoint on a background thread; use as a context manager."""
+
+    def __init__(
+        self,
+        config: ManagerConfig,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._config = config
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[ServingServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._drain_result: Dict[str, str] = {}
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid once :meth:`start` returned)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.port
+
+    @property
+    def base_url(self) -> str:
+        """``http://host:port`` of the running endpoint."""
+        return f"http://{self._host}:{self.port}"
+
+    @property
+    def manager(self) -> SessionManager:
+        """The manager behind the endpoint (for white-box assertions)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.manager
+
+    def submit(self, coro) -> "asyncio.Future":
+        """Schedule a coroutine on the server loop; returns a concurrent future."""
+        if self._loop is None:
+            raise RuntimeError("server is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def start(self) -> "ServerThread":
+        """Start the thread and block until the socket is bound."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serving", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    def stop(self, drain: bool = True) -> Dict[str, str]:
+        """Stop serving; with ``drain`` every live session is checkpointed.
+
+        Returns the name-to-checkpoint-path mapping of the drain (empty
+        when ``drain=False`` or the server never started).
+        """
+        if self._loop is None or self._thread is None:
+            return {}
+        self._loop.call_soon_threadsafe(self._begin_stop, drain)
+        self._stopped.wait()
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+        return self._drain_result
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop(drain=False)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        """Thread body: own loop, bind, serve until :meth:`stop`."""
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested: "asyncio.Future" = self._loop.create_future()
+        try:
+            manager = SessionManager(self._config)
+            self._server = ServingServer(manager, host=self._host, port=self._port)
+            await self._server.start()
+        except BaseException as error:  # noqa: BLE001 - reported to caller
+            self._startup_error = error
+            self._ready.set()
+            self._stopped.set()
+            return
+        self._ready.set()
+        drain = await self._stop_requested
+        try:
+            self._drain_result = await self._server.stop(drain=drain)
+        finally:
+            self._stopped.set()
+
+    def _begin_stop(self, drain: bool) -> None:
+        """Loop-side stop trigger (idempotent)."""
+        if not self._stop_requested.done():
+            self._stop_requested.set_result(drain)

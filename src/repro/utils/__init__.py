@@ -4,6 +4,7 @@ from repro.utils.errors import (
     ReproError,
     InvalidParameterError,
     InfeasibleConstraintError,
+    CheckpointError,
     EmptyStreamError,
     NoFeasibleSolutionError,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "ReproError",
     "InvalidParameterError",
     "InfeasibleConstraintError",
+    "CheckpointError",
     "EmptyStreamError",
     "NoFeasibleSolutionError",
     "ensure_rng",

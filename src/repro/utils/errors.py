@@ -34,6 +34,26 @@ class EmptyStreamError(ReproError, ValueError):
     """An algorithm was asked to run on a stream that produced no elements."""
 
 
+class CheckpointError(InvalidParameterError):
+    """A session checkpoint could not be written or restored.
+
+    Raised by :meth:`repro.api.session.SessionBase.checkpoint` and
+    :func:`repro.resume` whenever the checkpoint file is missing,
+    unreadable, truncated, not a pickle, or not a session checkpoint at
+    all.  The offending path is always part of the message (and available
+    as :attr:`path`), so a serving layer juggling thousands of checkpoint
+    files can report exactly which one went bad.
+
+    Subclasses :class:`InvalidParameterError` so existing callers that
+    caught the previous error type keep working.
+    """
+
+    def __init__(self, path, reason: str) -> None:
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"checkpoint {self.path}: {reason}")
+
+
 class NoFeasibleSolutionError(ReproError, RuntimeError):
     """The algorithm terminated without finding any feasible fair solution.
 

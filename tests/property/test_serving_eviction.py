@@ -1,0 +1,163 @@
+"""Property: LRU eviction + restore is invisible to the served answers.
+
+A session that the :class:`repro.serving.SessionManager` evicts to a
+pickle checkpoint mid-stream (and transparently restores on the next
+touch) must produce **byte-identical** results — same solution uids,
+bit-equal diversity, equal distance-computation counts — to a session
+that stayed resident the whole time, and to a plain
+:func:`repro.open_session` session fed the same rows directly.
+
+The test drives the same row stream through three pipelines:
+
+* ``max_live=1`` manager with a decoy session touched after every chunk,
+  so the target session is evicted and restored at every cut point;
+* ``max_live=64`` manager (never evicts);
+* a raw session (no manager, one big ``offer_rows`` call).
+
+and checks the mid-stream *and* final fingerprints agree, for both a
+streaming algorithm (SFDM2) and a windowed one (SlidingWindowFDM).
+This reuses the fingerprint discipline of the PR 4 checkpoint-
+equivalence harness.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api.solve import open_session
+from repro.datasets.synthetic import synthetic_blobs
+from repro.serving import ManagerConfig, SessionManager
+
+K = 4
+#: Chunk boundaries; each one is an eviction/restore point for the target.
+CUTS = (40, 97, 201, 240)
+
+ALGORITHMS = (
+    ("SFDM2", {}),  # StreamingSession; manager injects batch_size=max_batch
+    ("SlidingWindowFDM", {"window": 120}),  # WindowSession
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    dataset = synthetic_blobs(n=240, m=2, seed=17)
+    features = np.asarray([element.vector for element in dataset.elements], dtype=float)
+    groups = np.asarray([int(element.group) for element in dataset.elements])
+    return features, groups
+
+
+def _fingerprint(result):
+    solution = result.solution
+    return (
+        list(solution.uids) if solution is not None else None,
+        result.diversity,
+        result.stats.total_distance_computations,
+        result.stats.stream_distance_computations,
+        result.stats.elements_processed,
+    )
+
+
+async def _drive_managed(tmp_path, tag, algorithm, options, rows, evict):
+    """Feed the chunked stream through a manager; fingerprints at every cut.
+
+    With ``evict=True`` the manager has one live slot and a decoy session
+    is touched after every chunk, so the target is checkpointed out (and
+    restored by the next offer) at every cut point.
+    """
+    features, groups = rows
+    config = ManagerConfig(
+        state_dir=tmp_path / f"{tag}-{algorithm}-{evict}",
+        max_live=1 if evict else 64,
+        max_batch=48,
+        flush_ms=60_000.0,  # deadlines never fire: flushes are deterministic
+    )
+    manager = SessionManager(config)
+    await manager.create(
+        k=K, groups=2, algorithm=algorithm, options=dict(options), name="target"
+    )
+    await manager.create(
+        k=K, groups=2, algorithm=algorithm, options=dict(options), name="decoy"
+    )
+    await manager.offer("decoy", features[:8], groups=groups[:8])
+    await manager.flush("decoy")
+
+    fingerprints = []
+    start = 0
+    for cut in CUTS:
+        await manager.offer(
+            "target", features[start:cut], groups=groups[start:cut]
+        )
+        await manager.flush("target")
+        fingerprints.append(_fingerprint(await manager.solution("target")))
+        if evict:
+            # touch the decoy so the single live slot kicks the target out
+            await manager.solution("decoy")
+            assert not manager.is_live("target"), f"cut={cut}"
+        start = cut
+    return fingerprints
+
+
+def _drive_raw(algorithm, options, rows):
+    """The reference: one unmanaged session, all rows in one call."""
+    features, groups = rows
+    opts = dict(options)
+    if algorithm == "SFDM2":
+        opts["batch_size"] = 48  # match the manager's injected batch size
+    session = open_session(k=K, groups=[0, 1], algorithm=algorithm, options=opts)
+    fingerprints = []
+    start = 0
+    for cut in CUTS:
+        session.offer_rows(features[start:cut], groups=groups[start:cut])
+        fingerprints.append(_fingerprint(session.solution()))
+        start = cut
+    return fingerprints
+
+
+@pytest.mark.parametrize("algorithm, options", ALGORITHMS)
+def test_evicted_session_is_byte_identical(tmp_path, rows, algorithm, options):
+    async def scenario():
+        churned = await _drive_managed(
+            tmp_path, "churn", algorithm, options, rows, evict=True
+        )
+        resident = await _drive_managed(
+            tmp_path, "rest", algorithm, options, rows, evict=False
+        )
+        return churned, resident
+
+    churned, resident = asyncio.run(scenario())
+    reference = _drive_raw(algorithm, options, rows)
+    assert churned == resident, f"{algorithm}: eviction changed the answers"
+    assert churned == reference, f"{algorithm}: manager changed the answers"
+
+
+@pytest.mark.parametrize("algorithm, options", ALGORITHMS)
+def test_eviction_counts_are_nonzero(tmp_path, rows, algorithm, options):
+    """The churn pipeline really does evict (guards the test itself)."""
+
+    async def scenario():
+        config = ManagerConfig(
+            state_dir=tmp_path / "guard",
+            max_live=1,
+            max_batch=48,
+            flush_ms=60_000.0,
+        )
+        manager = SessionManager(config)
+        await manager.create(
+            k=K, groups=2, algorithm=algorithm, options=dict(options), name="a"
+        )
+        await manager.create(
+            k=K, groups=2, algorithm=algorithm, options=dict(options), name="b"
+        )
+        features, groups = rows
+        for start, cut in zip((0,) + CUTS, CUTS):
+            await manager.offer("a", features[start:cut], groups=groups[start:cut])
+            await manager.flush("a")  # restores a, evicts b
+            await manager.offer("b", features[start:cut], groups=groups[start:cut])
+            await manager.flush("b")  # restores b, evicts a
+        assert manager.stats()["evicted"] == 1
+        a = _fingerprint(await manager.solution("a"))
+        b = _fingerprint(await manager.solution("b"))
+        assert a == b  # identical inputs through identical churn agree
+
+    asyncio.run(scenario())

@@ -1,0 +1,127 @@
+"""Property: concurrent multi-tenant traffic never cross-contaminates.
+
+N sessions fed round-robin — with randomized chunk sizes, interleaved
+solution queries, and concurrent asyncio producers — must each end up
+byte-identical (uids, diversity, distance counts) to the same session
+fed alone, serially, with the whole stream in one call.  This is the
+serving layer's isolation guarantee: micro-batch queues, flush timers,
+and the shared LRU are per-session; tenants only share wall-clock.
+"""
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import synthetic_blobs
+from repro.serving import ManagerConfig, SessionManager
+
+K = 4
+N_SESSIONS = 4
+SEEDS = (3, 11)
+
+
+@pytest.fixture(scope="module")
+def streams():
+    """One distinct (features, groups) stream per session."""
+    per_session = []
+    for index in range(N_SESSIONS):
+        dataset = synthetic_blobs(n=160, m=2, seed=23 + index)
+        features = np.asarray(
+            [element.vector for element in dataset.elements], dtype=float
+        )
+        groups = np.asarray([int(element.group) for element in dataset.elements])
+        per_session.append((features, groups))
+    return per_session
+
+
+def _fingerprint(result):
+    return (
+        list(result.solution.uids),
+        result.diversity,
+        result.stats.total_distance_computations,
+        result.stats.elements_processed,
+    )
+
+
+def _config(tmp_path, tag, **overrides):
+    defaults = dict(
+        state_dir=tmp_path / tag,
+        max_live=2,  # below N_SESSIONS: interleaving also churns the LRU
+        max_batch=48,
+        flush_ms=60_000.0,
+    )
+    defaults.update(overrides)
+    return ManagerConfig(**defaults)
+
+
+async def _solo_reference(tmp_path, streams):
+    """Each session alone in its own manager, whole stream in one offer."""
+    fingerprints = []
+    for index, (features, groups) in enumerate(streams):
+        manager = SessionManager(_config(tmp_path, f"solo-{index}", max_live=64))
+        await manager.create(k=K, groups=2, name="only")
+        await manager.offer("only", features, groups=groups)
+        fingerprints.append(_fingerprint(await manager.solution("only")))
+    return fingerprints
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_round_robin_interleaving_matches_solo_runs(tmp_path, streams, seed):
+    rng = random.Random(seed)
+
+    async def scenario():
+        manager = SessionManager(_config(tmp_path, f"rr-{seed}"))
+        names = []
+        for index in range(N_SESSIONS):
+            names.append(await manager.create(k=K, groups=2, name=f"rr{index}"))
+        cursors = [0] * N_SESSIONS
+        while any(cursors[i] < len(streams[i][0]) for i in range(N_SESSIONS)):
+            index = rng.randrange(N_SESSIONS)
+            features, groups = streams[index]
+            if cursors[index] >= len(features):
+                continue
+            step = rng.randint(1, 37)
+            start, stop = cursors[index], min(cursors[index] + step, len(features))
+            await manager.offer(
+                names[index], features[start:stop], groups=groups[start:stop]
+            )
+            cursors[index] = stop
+            if rng.random() < 0.15 and cursors[index] > 20:
+                await manager.solution(names[index])  # interleaved pure query
+        return [_fingerprint(await manager.solution(name)) for name in names]
+
+    interleaved = asyncio.run(scenario())
+    solo = asyncio.run(_solo_reference(tmp_path, streams))
+    assert interleaved == solo
+
+
+def test_concurrent_async_producers_match_solo_runs(tmp_path, streams):
+    """N concurrent producer tasks (true asyncio interleaving) stay isolated."""
+
+    async def producer(manager, name, features, groups, rng):
+        cursor = 0
+        while cursor < len(features):
+            step = rng.randint(1, 29)
+            stop = min(cursor + step, len(features))
+            await manager.offer(name, features[cursor:stop], groups=groups[cursor:stop])
+            cursor = stop
+            await asyncio.sleep(0)  # yield so producers interleave
+
+    async def scenario():
+        manager = SessionManager(_config(tmp_path, "conc"))
+        names = []
+        for index in range(N_SESSIONS):
+            names.append(await manager.create(k=K, groups=2, name=f"c{index}"))
+        await asyncio.gather(
+            *(
+                producer(manager, names[i], *streams[i], random.Random(100 + i))
+                for i in range(N_SESSIONS)
+            )
+        )
+        return [_fingerprint(await manager.solution(name)) for name in names]
+
+    concurrent = asyncio.run(scenario())
+    solo = asyncio.run(_solo_reference(tmp_path, streams))
+    assert concurrent == solo

@@ -291,3 +291,87 @@ class TestAlgorithmListing:
         )
         assert code == 0
         assert "StreamingDM" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8747
+        assert args.max_live == 256
+        assert args.default_algorithm == "SFDM2"
+        assert args.state_dir == "serving-state"
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--max-sessions", "50",
+                "--max-live", "4",
+                "--max-batch", "32",
+                "--flush-ms", "5",
+                "--max-queue", "100",
+                "--state-dir", "/tmp/x",
+                "--default-algorithm", "SFDM1",
+            ]
+        )
+        assert args.port == 0 and args.max_live == 4 and args.max_batch == 32
+        assert args.flush_ms == 5.0 and args.max_queue == 100
+        assert args.default_algorithm == "SFDM1"
+
+    def test_serve_rejects_unknown_default_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--default-algorithm", "Magic"])
+
+    def test_serve_bad_config_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--max-live", "0", "--state-dir", str(tmp_path / "s")]
+        )
+        assert code == 1
+        assert "max_live" in capsys.readouterr().err
+
+    def test_serve_subprocess_announces_and_drains(self, tmp_path):
+        """Full binary path: spawn, parse the announce line, SIGTERM, exit 0."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        from http.client import HTTPConnection
+
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--state-dir", str(tmp_path / "state")],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            announce = proc.stdout.readline().strip()
+            assert announce.startswith("serving on http://")
+            port = int(announce.rsplit(":", 1)[1])
+            conn = HTTPConnection("127.0.0.1", port, timeout=10)
+            conn.request(
+                "POST",
+                "/sessions",
+                body=json.dumps({"k": 3, "groups": 2, "name": "cli"}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 201
+            response.read()
+            conn.close()
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            output, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "drained 1 session(s)" in output
+        assert (tmp_path / "state" / "cli.ckpt").exists()

@@ -34,6 +34,15 @@ pickle payload (both hardware-independent); when the committed
 acceptance-scale section was recorded on >= 4 cores, the process+shm
 speedup at the reference shard count must be at least 1.5x over serial.
 
+And the serving layer (``benchmarks/bench_serving.py``): the committed
+``serving`` / ``serving_smoke`` sections and a fresh smoke run must all
+record ``eviction_identity`` true (evict/restore never changes served
+answers) with a micro-batching speedup above 1x, and the fresh smoke
+run must reproduce the baseline's deterministic identity-schedule
+counters (offers/evictions/restores) exactly; the smoke throughput and
+p99 query-latency bars apply only on matching hardware, with the usual
+``--tolerance``.
+
 Exit status 0 means no regression (or hardware mismatch, reported); 1
 means a check failed.  Refresh the baseline by re-running
 ``make bench-hot`` (acceptance scale) and the smoke bench
@@ -60,6 +69,19 @@ OBS_SECTION = "obs_overhead"
 OBS_SMOKE_SECTION = "obs_overhead_smoke"
 PARALLEL_SECTION = "parallel_scaling"
 PARALLEL_SMOKE_SECTION = "parallel_scaling_smoke"
+SERVING_SECTION = "serving"
+SERVING_SMOKE_SECTION = "serving_smoke"
+
+#: Acceptance bar on the serving sections: batching the offer queues
+#: must beat the unbatched front end by at least this factor.
+SERVING_MIN_SPEEDUP = 1.0
+
+#: Deterministic counters of the serving bench's fixed identity schedule.
+SERVING_IDENTITY_KEYS = (
+    "identity_offers_total",
+    "identity_evictions",
+    "identity_restores",
+)
 
 #: Acceptance bar on the committed acceptance-scale ``parallel_scaling``
 #: section when it was recorded on multi-core hardware: the process
@@ -171,6 +193,22 @@ def _check_parallel_transport(section: dict, label: str, failures: list) -> None
         )
 
 
+def _check_serving(section: dict, label: str, failures: list) -> None:
+    """Eviction identity and the micro-batching claim on one serving section."""
+    if section.get("eviction_identity") is not True:
+        failures.append(
+            f"{label}: evicted/restored sessions diverged from resident ones"
+        )
+    speedup = section.get("batched_speedup")
+    if speedup is None:
+        failures.append(f"{label}: missing batched_speedup")
+    elif float(speedup) < SERVING_MIN_SPEEDUP:
+        failures.append(
+            f"{label}: micro-batching speedup {float(speedup):.2f}x below "
+            f"the {SERVING_MIN_SPEEDUP:g}x bar"
+        )
+
+
 def _check_index_counts(section: dict, label: str, failures: list) -> None:
     """The never-more-evaluations invariant over one index bench section."""
     for brute_key, indexed_key in INDEX_EVAL_PAIRS:
@@ -233,6 +271,15 @@ def main(argv=None) -> int:
             f"`make bench-parallel` and the smoke bench, then commit the JSON"
         )
 
+    serving_baseline = baseline_data.get(SERVING_SECTION)
+    serving_smoke_baseline = baseline_data.get(SERVING_SMOKE_SECTION)
+    if serving_baseline is None or serving_smoke_baseline is None:
+        raise SystemExit(
+            f"perf gate: baseline {BASELINE_PATH.name} is missing the "
+            f"{SERVING_SECTION!r}/{SERVING_SMOKE_SECTION!r} sections; run "
+            f"`make bench-serving` and the smoke bench, then commit the JSON"
+        )
+
     with tempfile.TemporaryDirectory(prefix="perf-gate-") as scratch_dir:
         fresh = _run_smoke_bench(
             int(baseline.get("n", 8000)), Path(scratch_dir) / "bench.json"
@@ -261,6 +308,19 @@ def main(argv=None) -> int:
             },
             Path(scratch_dir) / "bench_parallel.json",
             PARALLEL_SMOKE_SECTION,
+        )
+        fresh_serving = _run_bench(
+            "benchmarks/bench_serving.py",
+            {
+                "REPRO_BENCH_SERVING_ROWS": str(
+                    serving_smoke_baseline.get("rows", 4000)
+                ),
+                "REPRO_BENCH_SERVING_SESSIONS": str(
+                    serving_smoke_baseline.get("sessions", 8)
+                ),
+            },
+            Path(scratch_dir) / "bench_serving.json",
+            SERVING_SMOKE_SECTION,
         )
 
     failures = []
@@ -342,6 +402,51 @@ def main(argv=None) -> int:
                 f"below the {PARALLEL_TARGET_SPEEDUP:g}x multi-core bar"
             )
 
+    # --- Serving layer -----------------------------------------------
+    # Eviction identity and the micro-batching win hold on any hardware;
+    # the fixed identity schedule's counters are deterministic and must
+    # reproduce exactly.  Throughput/latency compare only on matching
+    # hardware.
+    _check_serving(serving_baseline, SERVING_SECTION, failures)
+    _check_serving(serving_smoke_baseline, SERVING_SMOKE_SECTION, failures)
+    _check_serving(fresh_serving, f"{SERVING_SMOKE_SECTION} (fresh)", failures)
+    for key in SERVING_IDENTITY_KEYS:
+        expected = serving_smoke_baseline.get(key)
+        actual = fresh_serving.get(key)
+        if expected is not None and actual != expected:
+            failures.append(
+                f"{SERVING_SMOKE_SECTION}.{key} changed: "
+                f"{actual} != baseline {expected}"
+            )
+    if fresh_serving.get("cpus") == serving_smoke_baseline.get("cpus"):
+        base_rate = serving_smoke_baseline.get("offers_per_s")
+        fresh_rate = fresh_serving.get("offers_per_s")
+        if base_rate and fresh_rate and (
+            float(fresh_rate) < float(base_rate) / args.tolerance
+        ):
+            failures.append(
+                f"{SERVING_SMOKE_SECTION}.offers_per_s collapsed: "
+                f"{float(fresh_rate):.0f}/s < baseline {float(base_rate):.0f}/s "
+                f"/ tolerance {args.tolerance:g}"
+            )
+        base_p99 = serving_smoke_baseline.get("p99_query_ms")
+        fresh_p99 = fresh_serving.get("p99_query_ms")
+        if base_p99 and fresh_p99 and (
+            float(fresh_p99) > float(base_p99) * args.tolerance
+        ):
+            failures.append(
+                f"{SERVING_SMOKE_SECTION}.p99_query_ms regressed: "
+                f"{float(fresh_p99):.1f}ms > baseline {float(base_p99):.1f}ms "
+                f"* {args.tolerance:g}"
+            )
+    else:
+        print(
+            f"perf gate: hardware mismatch for serving "
+            f"(cpus {fresh_serving.get('cpus')} vs baseline "
+            f"{serving_smoke_baseline.get('cpus')}); skipping "
+            f"throughput/latency checks"
+        )
+
     # Accounting is deterministic for a fixed seed/scale on any hardware.
     expected_calls = baseline.get("stream_distance_computations")
     actual_calls = fresh.get("stream_distance_computations")
@@ -392,7 +497,9 @@ def main(argv=None) -> int:
         f"index reduction {best_reduction:.2f}x at acceptance scale, "
         f"tracing overhead {float(fresh_obs.get('disabled_overhead_pct', 0.0)):.3f}%, "
         f"shm payload {float(fresh_parallel.get('payload_reduction', 0.0)):.0f}x "
-        f"below pickle)"
+        f"below pickle, "
+        f"serving batched {float(fresh_serving.get('batched_speedup', 0.0)):.1f}x "
+        f"with eviction identity)"
     )
     return 0
 
