@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast cov golden bench-smoke bench-batch bench-parallel bench-hot bench-window bench-index bench-obs bench-serving serve-smoke trace-smoke perf-gate docs-check api-check api-surface ci
+.PHONY: test test-fast cov golden bench-smoke bench-batch bench-parallel bench-hot bench-window bench-index bench-obs bench-serving bench-quality serve-smoke trace-smoke perf-gate docs-check api-check api-surface ci
 
 ## Run the full test suite (tier-1 gate).
 test:
@@ -38,6 +38,7 @@ bench-smoke:
 	REPRO_BENCH_INDEX_N=4000 $(PYTHON) -m pytest benchmarks/bench_index.py -q -s
 	REPRO_BENCH_OBS_N=8000 $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
 	REPRO_BENCH_SERVING_ROWS=4000 $(PYTHON) -m pytest benchmarks/bench_serving.py -q -s
+	REPRO_BENCH_QUALITY_N=2000 $(PYTHON) -m pytest benchmarks/bench_quality.py -q -s
 	REPRO_BENCH_N=500 $(PYTHON) -m pytest benchmarks/bench_fig7_time_vs_k.py -q -s
 
 ## Acceptance-scale batch engine benchmark (SFDM2, n = 50_000, >= 5x).
@@ -90,6 +91,16 @@ bench-obs:
 ## refreshes `serving_smoke`, which the perf gate re-proves.
 bench-serving:
 	$(PYTHON) -m pytest benchmarks/bench_serving.py -q -s
+
+## Acceptance-scale quality benchmark (true approximation ratios vs the
+## MWU + LP-rounding oracle at n = 10_000: SFDM2, SlidingWindowFDM, and
+## the coreset pipeline scored against the near-exact fair optimum, plus
+## the seeded exact sweep proving MWU within 10% of exact_fdm on every
+## small configuration). Refreshes the `quality` section of
+## BENCH_hot_paths.json; the smoke run (`make bench-smoke` / `make ci`)
+## refreshes `quality_smoke`, which the perf gate re-proves.
+bench-quality:
+	$(PYTHON) -m pytest benchmarks/bench_quality.py -q -s
 
 ## Serving smoke test: start `repro serve` on an ephemeral port and run a
 ## scripted client through the full lifecycle — create sessions past the

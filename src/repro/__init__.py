@@ -49,6 +49,7 @@ from repro.baselines import (
     fair_swap,
     gmm,
     max_sum_greedy,
+    mwu_fair,
 )
 from repro.datasets import (
     DatasetSpec,
@@ -154,6 +155,7 @@ __all__ = [
     "fair_gmm",
     "exact_dm",
     "exact_fdm",
+    "mwu_fair",
     # datasets
     "DatasetSpec",
     "synthetic_blobs",

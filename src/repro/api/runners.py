@@ -22,6 +22,7 @@ from repro.baselines.fair_flow import fair_flow
 from repro.baselines.fair_gmm import fair_gmm
 from repro.baselines.fair_swap import fair_swap
 from repro.baselines.gmm import gmm
+from repro.baselines.mwu import mwu_fair
 from repro.core.coreset import coreset_fair_diversity
 from repro.core.result import RunResult
 from repro.core.sfdm1 import SFDM1
@@ -235,6 +236,41 @@ def _run_fair_gmm(context: RunContext) -> RunResult:
         context.metric,
         context.require_constraint(),
         max_combinations=context.option("max_combinations", 2_000_000),
+    )
+
+
+def _validate_mwu(options: Mapping[str, Any]) -> None:
+    """Eager checks for the MWU loop-size options.
+
+    ``epsilon`` and ``seed`` arrive as problem-level :func:`repro.solve`
+    arguments (they are SolveSpec fields, not entry options) and are
+    range-checked inside :func:`~repro.baselines.mwu.mwu_fair`.
+    """
+    if "iterations" in options:
+        require_positive_int(options["iterations"], "iterations")
+    if "rounds" in options:
+        require_positive_int(options["rounds"], "rounds")
+
+
+@register_algorithm(
+    "MWU",
+    kind="offline",
+    aliases=("mwu",),
+    description="MWU + LP-rounding quality oracle (near-exact fair DM anchor)",
+    streaming=False,
+    options=("iterations", "rounds"),
+    validator=_validate_mwu,
+)
+def _run_mwu(context: RunContext) -> RunResult:
+    """Run the MWU + LP-rounding quality oracle on the full element list."""
+    return mwu_fair(
+        context.elements,
+        context.metric,
+        context.require_constraint(),
+        epsilon=context.epsilon,
+        iterations=context.option("iterations", 32),
+        rounds=context.option("rounds", 8),
+        seed=context.seed,
     )
 
 

@@ -12,6 +12,9 @@
   Figure 1 illustration contrasting the two diversity objectives.
 * :func:`exact_fdm` / :func:`exact_dm` — brute-force optima used by the
   test suite as oracles on small instances.
+* :func:`mwu_fair` — the MWU + LP-rounding quality oracle: a near-exact
+  solver (pure numpy, no LP dependency) that anchors the true
+  approximation ratios reported by ``benchmarks/bench_quality.py``.
 """
 
 from repro.baselines.gmm import gmm, gmm_elements
@@ -20,6 +23,7 @@ from repro.baselines.fair_swap import fair_swap
 from repro.baselines.fair_flow import fair_flow
 from repro.baselines.fair_gmm import fair_gmm
 from repro.baselines.exact import exact_dm, exact_fdm
+from repro.baselines.mwu import mwu_fair
 
 __all__ = [
     "gmm",
@@ -30,4 +34,5 @@ __all__ = [
     "fair_gmm",
     "exact_dm",
     "exact_fdm",
+    "mwu_fair",
 ]

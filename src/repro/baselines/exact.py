@@ -3,14 +3,23 @@
 Both solvers enumerate all feasible subsets, so they are exponential in
 ``k`` and only intended for the small instances the tests construct (at
 most a couple of dozen elements).
+
+Diversity ties are broken explicitly: among all optimal subsets the one
+with the lexicographically smallest sorted uid tuple wins.  This makes the
+returned subset a pure function of the element *set* (independent of input
+order), which is what keeps the MWU-vs-exact golden pins stable under
+element reordering.  Both solvers also accept a columnar
+:class:`~repro.data.store.ElementStore` in place of an element sequence,
+matching :func:`~repro.core.coreset.gmm_coreset`.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.solution import diversity_of
+from repro.data.store import ElementStore
 from repro.fairness.constraints import FairnessConstraint
 from repro.metrics.base import Metric
 from repro.data.element import Element
@@ -18,34 +27,59 @@ from repro.utils.errors import InvalidParameterError
 from repro.utils.validation import require_positive_int
 
 
+def _materialise(
+    elements: Union[Sequence[Element], ElementStore], limit: int, name: str
+) -> List[Element]:
+    """Element list for ``elements``, enforcing the brute-force size cap."""
+    if len(elements) > limit:
+        raise InvalidParameterError(
+            f"{name} is limited to {limit} elements, got {len(elements)}"
+        )
+    if isinstance(elements, ElementStore):
+        return elements.elements()
+    return list(elements)
+
+
+def _uid_key(subset: Sequence[Element]) -> Tuple[int, ...]:
+    """The order-independent tie-breaking key: the sorted uid tuple."""
+    return tuple(sorted(element.uid for element in subset))
+
+
 def exact_dm(
-    elements: Sequence[Element], metric: Metric, k: int, max_elements: int = 25
+    elements: Union[Sequence[Element], ElementStore],
+    metric: Metric,
+    k: int,
+    max_elements: int = 25,
 ) -> Tuple[List[Element], float]:
     """Exact optimum for unconstrained max-min diversity maximization.
 
-    Returns the optimal subset and its diversity.  Refuses inputs larger
-    than ``max_elements`` to avoid accidental exponential blow-ups in tests.
+    Returns the optimal subset and its diversity; among equally diverse
+    subsets the lexicographically smallest sorted uid tuple wins, so the
+    result is independent of the input order.  Refuses inputs larger than
+    ``max_elements`` to avoid accidental exponential blow-ups in tests.
     """
     k = require_positive_int(k, "k")
-    if len(elements) > max_elements:
-        raise InvalidParameterError(
-            f"exact_dm is limited to {max_elements} elements, got {len(elements)}"
-        )
-    if k > len(elements):
-        raise InvalidParameterError(f"k={k} exceeds the number of elements {len(elements)}")
+    pool = _materialise(elements, max_elements, "exact_dm")
+    if k > len(pool):
+        raise InvalidParameterError(f"k={k} exceeds the number of elements {len(pool)}")
     best_subset: Optional[Tuple[Element, ...]] = None
+    best_key: Optional[Tuple[int, ...]] = None
     best_diversity = -1.0
-    for subset in itertools.combinations(elements, k):
+    for subset in itertools.combinations(pool, k):
         div = diversity_of(subset, metric)
-        if div > best_diversity:
+        if div < best_diversity:
+            continue
+        key = _uid_key(subset)
+        if div > best_diversity or (best_key is not None and key < best_key):
             best_diversity = div
             best_subset = subset
+            best_key = key
     assert best_subset is not None
     return list(best_subset), best_diversity
 
 
 def exact_fdm(
-    elements: Sequence[Element],
+    elements: Union[Sequence[Element], ElementStore],
     metric: Metric,
     constraint: FairnessConstraint,
     max_elements: int = 25,
@@ -53,28 +87,31 @@ def exact_fdm(
     """Exact optimum for fair max-min diversity maximization.
 
     Enumerates all ways of picking ``k_i`` elements from each group.
-    Returns the optimal fair subset and its diversity.
+    Returns the optimal fair subset and its diversity; ties break on the
+    lexicographically smallest sorted uid tuple, as in :func:`exact_dm`.
     """
-    if len(elements) > max_elements:
-        raise InvalidParameterError(
-            f"exact_fdm is limited to {max_elements} elements, got {len(elements)}"
-        )
+    pool = _materialise(elements, max_elements, "exact_fdm")
     per_group_pools = {
-        group: [element for element in elements if element.group == group]
+        group: [element for element in pool if element.group == group]
         for group in constraint.groups
     }
-    constraint.validate_feasible({g: len(pool) for g, pool in per_group_pools.items()})
+    constraint.validate_feasible({g: len(rows) for g, rows in per_group_pools.items()})
     per_group_choices = [
         list(itertools.combinations(per_group_pools[group], constraint.quota(group)))
         for group in constraint.groups
     ]
     best_subset: Optional[List[Element]] = None
+    best_key: Optional[Tuple[int, ...]] = None
     best_diversity = -1.0
     for combination in itertools.product(*per_group_choices):
         candidate = [element for part in combination for element in part]
         div = diversity_of(candidate, metric)
-        if div > best_diversity:
+        if div < best_diversity:
+            continue
+        key = _uid_key(candidate)
+        if div > best_diversity or (best_key is not None and key < best_key):
             best_diversity = div
             best_subset = candidate
+            best_key = key
     assert best_subset is not None
     return best_subset, best_diversity

@@ -5,20 +5,95 @@ selected subset.  The classic 1/2-approximation greedy repeatedly adds the
 element with the largest total distance to the current selection.  The paper
 uses it only to illustrate (Figure 1) why max-min is preferable when uniform
 coverage matters; it is not part of the evaluated algorithms.
+
+Metrics with vectorized kernels run one ``pairwise`` evaluation up front and
+drive both the farthest-pair seeding and the per-round gain updates from the
+cached matrix; the selection sequence and the distance accounting are
+identical to the scalar path (ties break on the first row-major maximum
+either way, and gains accumulate in selection order on both paths).
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.core.result import RunResult
 from repro.core.solution import Solution
-from repro.metrics.base import Metric
+from repro.metrics.base import Metric, stack_vectors
 from repro.metrics.cached import CountingMetric
 from repro.data.element import Element
 from repro.streaming.stats import StreamStats
 from repro.utils.timer import Timer
 from repro.utils.validation import require_positive_int
+
+
+def _select_batched(counting: CountingMetric, pool: Sequence[Element], k: int) -> List[Element]:
+    """The greedy selection driven by one cached pairwise matrix.
+
+    Seeds with the first row-major maximum of the upper triangle (the same
+    pair the scalar double loop keeps, which only replaces on strictly
+    greater distances), then grows the selection by the first maximum-gain
+    element, with gains folded in selection order so the float sums match
+    the scalar path's sequential accumulation.  The counter is charged the
+    scalar path's exact evaluation counts — ``n(n-1)/2`` for the seeding
+    sweep and ``(n - t) * t`` per round over the ``t`` selected — so the
+    accounting stays engine-path independent.
+    """
+    n = len(pool)
+    distances = counting.inner.pairwise(stack_vectors(pool))
+    counting.charge(n * (n - 1) // 2)
+    upper = np.triu_indices(n, k=1)
+    flat = int(np.argmax(distances[upper]))
+    rows = [int(upper[0][flat]), int(upper[1][flat])]
+    chosen = np.zeros(n, dtype=bool)
+    chosen[rows] = True
+    gains = distances[:, rows[0]] + distances[:, rows[1]]
+    while len(rows) < min(k, n):
+        counting.charge((n - len(rows)) * len(rows))
+        scored = np.where(chosen, -np.inf, gains)
+        best = int(np.argmax(scored))
+        rows.append(best)
+        chosen[best] = True
+        gains = gains + distances[:, best]
+    return [pool[row] for row in rows[:k]]
+
+
+def _select_scalar(counting: CountingMetric, pool: Sequence[Element], k: int) -> List[Element]:
+    """The element-at-a-time greedy for metrics without batch kernels."""
+    # Seed with the globally farthest pair, the standard greedy start.
+    best_pair = None
+    best_distance = -1.0
+    for i in range(len(pool)):
+        for j in range(i + 1, len(pool)):
+            d = counting.distance(pool[i].vector, pool[j].vector)
+            if d > best_distance:
+                best_distance = d
+                best_pair = (i, j)
+    if best_pair is None:
+        return list(pool[:k])
+    first, second = best_pair
+    selected = [pool[first], pool[second]]
+    chosen_uids = {element.uid for element in selected}
+    while len(selected) < min(k, len(pool)):
+        best_element = None
+        best_gain = -1.0
+        for element in pool:
+            if element.uid in chosen_uids:
+                continue
+            gain = sum(
+                counting.distance(element.vector, member.vector)
+                for member in selected
+            )
+            if gain > best_gain:
+                best_gain = gain
+                best_element = element
+        if best_element is None:
+            break
+        selected.append(best_element)
+        chosen_uids.add(best_element.uid)
+    return selected[:k]
 
 
 def max_sum_greedy(elements: Sequence[Element], metric: Metric, k: int) -> RunResult:
@@ -27,42 +102,13 @@ def max_sum_greedy(elements: Sequence[Element], metric: Metric, k: int) -> RunRe
     counting = CountingMetric(metric)
     timer = Timer()
     with timer.measure():
-        selected: List[Element] = []
         remaining = list(elements)
-        if remaining:
-            # Seed with the globally farthest pair, the standard greedy start.
-            best_pair = None
-            best_distance = -1.0
-            for i in range(len(remaining)):
-                for j in range(i + 1, len(remaining)):
-                    d = counting.distance(remaining[i].vector, remaining[j].vector)
-                    if d > best_distance:
-                        best_distance = d
-                        best_pair = (i, j)
-            if best_pair is None:
-                selected = remaining[:k]
-            else:
-                first, second = best_pair
-                selected = [remaining[first], remaining[second]]
-                chosen_uids = {element.uid for element in selected}
-                while len(selected) < min(k, len(remaining)):
-                    best_element = None
-                    best_gain = -1.0
-                    for element in remaining:
-                        if element.uid in chosen_uids:
-                            continue
-                        gain = sum(
-                            counting.distance(element.vector, member.vector)
-                            for member in selected
-                        )
-                        if gain > best_gain:
-                            best_gain = gain
-                            best_element = element
-                    if best_element is None:
-                        break
-                    selected.append(best_element)
-                    chosen_uids.add(best_element.uid)
-                selected = selected[:k]
+        if len(remaining) < 2:
+            selected = remaining[:k]
+        elif counting.supports_batch:
+            selected = _select_batched(counting, remaining, k)
+        else:
+            selected = _select_scalar(counting, remaining, k)
     stats = StreamStats(
         elements_processed=len(elements),
         stream_distance_computations=counting.calls,

@@ -310,6 +310,24 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help=(
+            "MWU iterations (oracle calls + weight updates) per distance "
+            "guess for the MWU quality oracle (default 32)"
+        ),
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help=(
+            "randomized-rounding attempts per distance guess for the MWU "
+            "quality oracle (default 8)"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="emit hierarchical span traces to stderr while the command runs",
@@ -374,6 +392,8 @@ def _options_for(args: argparse.Namespace, name: str) -> dict:
         "window": args.window,
         "blocks": args.blocks,
         "index": args.index,
+        "iterations": args.iterations,
+        "rounds": args.rounds,
     }
     return {key: value for key, value in flag_values.items() if key in accepted}
 

@@ -192,6 +192,16 @@ def sliding_window_algorithm(
     return window_algorithm(window=window, blocks=blocks, algorithm="SlidingWindowFDM")
 
 
+def mwu_algorithm(iterations: int = 32, rounds: int = 8) -> AlgorithmSpec:
+    """The MWU + LP-rounding quality oracle as a harness algorithm.
+
+    Options are validated eagerly through the registry entry; the guess
+    ladder's ``epsilon`` and the rounding ``seed`` are problem-level
+    parameters and come from the :class:`ExperimentConfig`.
+    """
+    return algorithm_spec("MWU", iterations=iterations, rounds=rounds)
+
+
 def extended_algorithms(
     shards: int = 4,
     backend: str = "serial",
@@ -202,15 +212,16 @@ def extended_algorithms(
     """The algorithms beyond the paper's suite.
 
     Coreset, the two windowed algorithms (checkpointed baseline and
-    incremental sliding), and ParallelFDM.  These are kept out of
-    :func:`default_algorithms` so the comparison tables keep the paper's
-    Table II shape unless explicitly extended.
+    incremental sliding), ParallelFDM, and the MWU quality oracle.  These
+    are kept out of :func:`default_algorithms` so the comparison tables
+    keep the paper's Table II shape unless explicitly extended.
     """
     return [
         coreset_algorithm(),
         window_algorithm(window=window, blocks=blocks),
         sliding_window_algorithm(window=window, blocks=blocks),
         parallel_algorithm(shards=shards, backend=backend, strategy=strategy),
+        mwu_algorithm(),
     ]
 
 

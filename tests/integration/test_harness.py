@@ -67,7 +67,13 @@ class TestRunExperiment:
         configs = [ExperimentConfig(dataset=dataset, k=6, repetitions=1)]
         records = run_experiment(configs, algorithms=extended_algorithms(shards=3))
         names = {record.algorithm for record in records}
-        assert names == {"Coreset", "WindowFDM", "SlidingWindowFDM", "ParallelFDM"}
+        assert names == {
+            "Coreset",
+            "WindowFDM",
+            "SlidingWindowFDM",
+            "ParallelFDM",
+            "MWU",
+        }
         assert all(record.diversity > 0 for record in records)
 
     def test_parallel_algorithm_validates_eagerly(self):

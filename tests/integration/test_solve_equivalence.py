@@ -15,6 +15,7 @@ from repro.baselines.fair_flow import fair_flow
 from repro.baselines.fair_gmm import fair_gmm
 from repro.baselines.fair_swap import fair_swap
 from repro.baselines.gmm import gmm
+from repro.baselines.mwu import mwu_fair
 from repro.core.coreset import coreset_fair_diversity
 from repro.core.sfdm1 import SFDM1
 from repro.core.sfdm2 import SFDM2
@@ -68,6 +69,12 @@ def _direct_fair_gmm(dataset, constraint):
     return fair_gmm(dataset.elements, dataset.metric, constraint)
 
 
+def _direct_mwu(dataset, constraint):
+    return mwu_fair(
+        dataset.elements, dataset.metric, constraint, epsilon=EPSILON, seed=SEED
+    )
+
+
 def _direct_coreset(dataset, constraint):
     return coreset_fair_diversity(
         dataset.elements, dataset.metric, constraint, num_parts=3
@@ -117,6 +124,7 @@ DIRECT_CALLS = {
     "FairSwap": _direct_fair_swap,
     "FairFlow": _direct_fair_flow,
     "FairGMM": _direct_fair_gmm,
+    "MWU": _direct_mwu,
     "Coreset": _direct_coreset,
     "WindowFDM": _direct_window,
     "SlidingWindowFDM": _direct_sliding_window,

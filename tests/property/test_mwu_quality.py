@@ -1,0 +1,166 @@
+"""Property tests for the MWU + LP-rounding quality oracle.
+
+On seeded small instances (n <= 25, 2-4 groups, three metrics) the oracle
+must be: always feasible, deterministic per seed, at least as diverse as
+the streaming algorithms, and within 10% of the brute-force optimum
+(:func:`exact_fdm`).  The instances are generated from fixed seeds, so
+every assertion here is reproducible — a passing configuration stays
+passing.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.exact import exact_fdm
+from repro.baselines.mwu import mwu_fair
+from repro.data.element import Element
+from repro.data.store import ElementStore
+from repro.fairness.constraints import FairnessConstraint
+from repro.metrics.vector import AngularMetric, EuclideanMetric, ManhattanMetric
+from repro.utils.errors import InvalidParameterError
+
+METRICS = {
+    "euclidean": EuclideanMetric(),
+    "manhattan": ManhattanMetric(),
+    "angular": AngularMetric(),
+}
+
+SEEDS = (3, 11, 29)
+GROUP_COUNTS = (2, 3, 4)
+
+CONFIGS = [
+    pytest.param(seed, m, name, id=f"seed{seed}-m{m}-{name}")
+    for seed in SEEDS
+    for m in GROUP_COUNTS
+    for name in METRICS
+]
+
+
+def _instance(seed, m):
+    """A seeded random instance: n <= 25 positive points, feasible quotas."""
+    rng = np.random.default_rng(seed + 1_000 * m)
+    n = int(rng.integers(4 * m, 26))
+    quotas = {group: int(rng.integers(1, 3)) for group in range(m)}
+    groups = rng.integers(0, m, size=n)
+    slot = 0
+    for group, quota in quotas.items():
+        for _ in range(quota):
+            groups[slot] = group
+            slot += 1
+    # Positive coordinates keep the angular metric well-defined.
+    points = rng.uniform(0.5, 10.0, size=(n, 3))
+    elements = [
+        Element(uid=i, vector=points[i], group=int(groups[i])) for i in range(n)
+    ]
+    return elements, FairnessConstraint(quotas)
+
+
+class TestMWUQuality:
+    @pytest.mark.parametrize("seed,m,metric_name", CONFIGS)
+    def test_feasible_and_within_10pct_of_exact(self, seed, m, metric_name):
+        """MWU output is fair and achieves >= 0.9x the exact optimum."""
+        metric = METRICS[metric_name]
+        elements, constraint = _instance(seed, m)
+        _, exact_div = exact_fdm(elements, metric, constraint)
+        result = mwu_fair(elements, metric, constraint, seed=seed)
+        assert result.solution.is_fair
+        assert result.solution.size == constraint.total_size
+        assert result.solution.diversity >= 0.9 * exact_div
+
+    @pytest.mark.parametrize("seed,m,metric_name", CONFIGS)
+    def test_at_least_as_diverse_as_streaming(self, seed, m, metric_name):
+        """MWU dominates the best streaming algorithm on the same instance."""
+        metric = METRICS[metric_name]
+        elements, constraint = _instance(seed, m)
+        result = mwu_fair(elements, metric, constraint, seed=seed)
+        streaming = ["SFDM2"] + (["SFDM1"] if m == 2 else [])
+        best = max(
+            repro.solve(
+                elements,
+                metric=metric,
+                constraint=constraint,
+                algorithm=algorithm,
+                seed=seed,
+            ).solution.diversity
+            for algorithm in streaming
+        )
+        assert result.solution.diversity >= best - 1e-9
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_deterministic_per_seed(self, seed):
+        """Same seed, same run: identical uids, diversity, and accounting."""
+        elements, constraint = _instance(seed, 3)
+        metric = METRICS["euclidean"]
+        first = mwu_fair(elements, metric, constraint, seed=seed)
+        second = mwu_fair(elements, metric, constraint, seed=seed)
+        assert first.solution.uids == second.solution.uids
+        assert first.solution.diversity == second.solution.diversity
+        assert (
+            first.stats.stream_distance_computations
+            == second.stats.stream_distance_computations
+        )
+
+    def test_store_and_sequence_inputs_agree(self):
+        """An ElementStore pool selects the same uids as the element list."""
+        elements, constraint = _instance(3, 2)
+        metric = METRICS["euclidean"]
+        store = ElementStore.from_elements(elements)
+        from_list = mwu_fair(elements, metric, constraint, seed=5)
+        from_store = mwu_fair(store, metric, constraint, seed=5)
+        assert from_list.solution.uids == from_store.solution.uids
+        assert (
+            from_list.stats.stream_distance_computations
+            == from_store.stats.stream_distance_computations
+        )
+
+    def test_registry_dispatch_matches_direct_call(self):
+        """`repro.solve(..., algorithm="MWU")` equals the direct invocation."""
+        elements, constraint = _instance(11, 2)
+        direct = mwu_fair(
+            elements, METRICS["euclidean"], constraint, epsilon=0.1, seed=7
+        )
+        dispatched = repro.solve(
+            elements,
+            metric=METRICS["euclidean"],
+            constraint=constraint,
+            algorithm="MWU",
+            epsilon=0.1,
+            seed=7,
+        )
+        assert dispatched.solution.uids == direct.solution.uids
+        assert (
+            dispatched.stats.stream_distance_computations
+            == direct.stats.stream_distance_computations
+        )
+
+
+class TestMWURejections:
+    def _solve(self, **kwargs):
+        elements, constraint = _instance(3, 2)
+        return repro.solve(
+            elements,
+            metric=METRICS["euclidean"],
+            constraint=constraint,
+            algorithm="MWU",
+            **kwargs,
+        )
+
+    @pytest.mark.parametrize("iterations", [0, -1, 1.5, "many"])
+    def test_invalid_iterations_rejected(self, iterations):
+        with pytest.raises(InvalidParameterError):
+            self._solve(iterations=iterations)
+
+    @pytest.mark.parametrize("rounds", [0, -3])
+    def test_invalid_rounds_rejected(self, rounds):
+        with pytest.raises(InvalidParameterError):
+            self._solve(rounds=rounds)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, 1.5, -0.1])
+    def test_invalid_epsilon_rejected(self, epsilon):
+        with pytest.raises(InvalidParameterError):
+            self._solve(epsilon=epsilon)
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            self._solve(bogus=1)

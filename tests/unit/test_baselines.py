@@ -10,7 +10,9 @@ from repro.baselines.fair_swap import fair_swap
 from repro.baselines.gmm import gmm, gmm_elements
 from repro.baselines.max_sum import max_sum_greedy
 from repro.core.solution import diversity_of
+from repro.data.store import ElementStore
 from repro.fairness.constraints import FairnessConstraint, equal_representation
+from repro.metrics.base import CallableMetric
 from repro.metrics.vector import EuclideanMetric
 from repro.data.element import Element
 from repro.utils.errors import InfeasibleConstraintError, InvalidParameterError
@@ -81,6 +83,39 @@ class TestMaxSumGreedy:
         sum_result = max_sum_greedy(elements, METRIC, 6)
         min_result = gmm(elements, METRIC, 6)
         assert sum_result.solution.diversity <= min_result.solution.diversity + 1e-9
+
+    @pytest.mark.parametrize("n,k", [(1, 1), (1, 3), (2, 1), (7, 1), (25, 6), (31, 12)])
+    def test_batched_path_matches_scalar_path(self, n, k):
+        """The batched kernels select the same elements on the same counts.
+
+        The scalar reference forces the element-at-a-time path via a
+        ``CallableMetric`` wrapping the same distance function; selections
+        and distance accounting must be identical, including the ``k=1``
+        and single-element edges.
+        """
+        rng = np.random.default_rng(100 * n + k)
+        elements = [
+            Element(uid=i, vector=rng.normal(size=3), group=i % 2) for i in range(n)
+        ]
+        scalar_metric = CallableMetric(METRIC.distance, name="scalar-euclidean")
+        batched = max_sum_greedy(elements, METRIC, k)
+        scalar = max_sum_greedy(elements, scalar_metric, k)
+        assert batched.solution.uids == scalar.solution.uids
+        assert (
+            batched.stats.stream_distance_computations
+            == scalar.stats.stream_distance_computations
+        )
+
+    def test_single_element_pool(self):
+        result = max_sum_greedy(_line_elements(1), METRIC, 4)
+        assert result.solution.uids == [0]
+        assert result.stats.stream_distance_computations == 0
+
+    def test_k_one_selects_farthest_pair_member(self):
+        """k=1 keeps the first element of the farthest pair, as before."""
+        result = max_sum_greedy(_line_elements(6), METRIC, 1)
+        assert result.solution.uids == [0]
+        assert result.stats.stream_distance_computations == 15
 
 
 class TestFairSwap:
@@ -180,3 +215,47 @@ class TestExactSolvers:
         constraint = FairnessConstraint({0: 4, 1: 4})
         with pytest.raises(InfeasibleConstraintError):
             exact_fdm(_line_elements(6), METRIC, constraint)
+
+    def test_exact_dm_tie_break_is_order_independent(self):
+        """Among equally diverse optima the smallest uid tuple wins,
+        whatever order the elements arrive in."""
+        # Four corners of a square: the two diagonal pairs tie at 2*sqrt(2);
+        # {0, 2} is the lexicographically smaller of the tied optima.
+        corners = [
+            Element(uid=0, vector=np.array([0.0, 0.0]), group=0),
+            Element(uid=1, vector=np.array([2.0, 0.0]), group=1),
+            Element(uid=2, vector=np.array([2.0, 2.0]), group=0),
+            Element(uid=3, vector=np.array([0.0, 2.0]), group=1),
+        ]
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            shuffled = list(corners)
+            rng.shuffle(shuffled)
+            subset, optimum = exact_dm(shuffled, METRIC, 2)
+            assert optimum == pytest.approx(2.0 * np.sqrt(2.0))
+            assert sorted(e.uid for e in subset) == [0, 2]
+
+    def test_exact_fdm_tie_break_is_order_independent(self):
+        corners = [
+            Element(uid=0, vector=np.array([0.0, 0.0]), group=0),
+            Element(uid=1, vector=np.array([2.0, 0.0]), group=1),
+            Element(uid=2, vector=np.array([2.0, 2.0]), group=0),
+            Element(uid=3, vector=np.array([0.0, 2.0]), group=1),
+        ]
+        constraint = FairnessConstraint({0: 1, 1: 1})
+        rng = np.random.default_rng(9)
+        for _ in range(6):
+            shuffled = list(corners)
+            rng.shuffle(shuffled)
+            subset, optimum = exact_fdm(shuffled, METRIC, constraint)
+            assert optimum == pytest.approx(2.0)
+            assert sorted(e.uid for e in subset) == [0, 1]
+
+    def test_exact_solvers_accept_element_stores(self):
+        elements = _line_elements(8)
+        store = ElementStore.from_elements(elements)
+        constraint = equal_representation(4, [0, 1])
+        assert exact_dm(store, METRIC, 3) == exact_dm(elements, METRIC, 3)
+        assert exact_fdm(store, METRIC, constraint) == exact_fdm(
+            elements, METRIC, constraint
+        )

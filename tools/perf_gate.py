@@ -43,6 +43,15 @@ counters (offers/evictions/restores) exactly; the smoke throughput and
 p99 query-latency bars apply only on matching hardware, with the usual
 ``--tolerance``.
 
+And the quality layer (``benchmarks/bench_quality.py``): the committed
+``quality`` / ``quality_smoke`` sections and a fresh smoke run must all
+show true approximation ratios (vs the MWU + LP-rounding oracle) above
+the per-algorithm floors, an MWU-vs-upper-bound certified ratio above its
+floor, and a clean exact sweep (MWU within 10% of ``exact_fdm`` on every
+seeded small configuration); the fresh smoke run must reproduce the
+sweep's deterministic integer counters (cases, hits, counted distance
+evaluations) exactly.
+
 Exit status 0 means no regression (or hardware mismatch, reported); 1
 means a check failed.  Refresh the baseline by re-running
 ``make bench-hot`` (acceptance scale) and the smoke bench
@@ -71,6 +80,30 @@ PARALLEL_SECTION = "parallel_scaling"
 PARALLEL_SMOKE_SECTION = "parallel_scaling_smoke"
 SERVING_SECTION = "serving"
 SERVING_SMOKE_SECTION = "serving_smoke"
+QUALITY_SECTION = "quality"
+QUALITY_SMOKE_SECTION = "quality_smoke"
+
+#: Hardware-independent floors on the true approximation ratios recorded
+#: by the quality bench (diversity over MWU diversity, same instance and
+#: stream permutation; `mwu_certified_ratio` is MWU diversity over the
+#: ``2 * div(GMM)`` upper bound on the optimum).  The runs are
+#: deterministic per seed/scale, so a dip below a floor is an algorithmic
+#: regression, not noise.
+QUALITY_RATIO_FLOORS = {
+    "sfdm2_ratio": 0.55,
+    "sliding_window_ratio": 0.60,
+    "coreset_ratio": 0.70,
+    "mwu_certified_ratio": 0.40,
+}
+
+#: Deterministic integer counters of the quality bench's exact sweep (and
+#: the MWU scale run); a fresh smoke run must reproduce them exactly.
+QUALITY_EXACT_KEYS = (
+    "exact_cases",
+    "exact_within_10pct",
+    "exact_sweep_evals",
+    "mwu_distance_evals",
+)
 
 #: Acceptance bar on the serving sections: batching the offer queues
 #: must beat the unbatched front end by at least this factor.
@@ -209,6 +242,26 @@ def _check_serving(section: dict, label: str, failures: list) -> None:
         )
 
 
+def _check_quality(section: dict, label: str, failures: list) -> None:
+    """Ratio floors and the clean exact sweep on one quality section."""
+    for key, floor in QUALITY_RATIO_FLOORS.items():
+        ratio = section.get(key)
+        if ratio is None:
+            failures.append(f"{label}: missing {key}")
+        elif float(ratio) < floor:
+            failures.append(
+                f"{label}: {key} {float(ratio):.4f} below the {floor:g} floor"
+            )
+    cases = section.get("exact_cases")
+    within = section.get("exact_within_10pct")
+    if cases is None or within is None:
+        failures.append(f"{label}: missing exact_cases/exact_within_10pct")
+    elif int(within) != int(cases) or int(cases) < 1:
+        failures.append(
+            f"{label}: MWU within 10% of exact on only {within}/{cases} configs"
+        )
+
+
 def _check_index_counts(section: dict, label: str, failures: list) -> None:
     """The never-more-evaluations invariant over one index bench section."""
     for brute_key, indexed_key in INDEX_EVAL_PAIRS:
@@ -280,6 +333,15 @@ def main(argv=None) -> int:
             f"`make bench-serving` and the smoke bench, then commit the JSON"
         )
 
+    quality_baseline = baseline_data.get(QUALITY_SECTION)
+    quality_smoke_baseline = baseline_data.get(QUALITY_SMOKE_SECTION)
+    if quality_baseline is None or quality_smoke_baseline is None:
+        raise SystemExit(
+            f"perf gate: baseline {BASELINE_PATH.name} is missing the "
+            f"{QUALITY_SECTION!r}/{QUALITY_SMOKE_SECTION!r} sections; run "
+            f"`make bench-quality` and the smoke bench, then commit the JSON"
+        )
+
     with tempfile.TemporaryDirectory(prefix="perf-gate-") as scratch_dir:
         fresh = _run_smoke_bench(
             int(baseline.get("n", 8000)), Path(scratch_dir) / "bench.json"
@@ -321,6 +383,14 @@ def main(argv=None) -> int:
             },
             Path(scratch_dir) / "bench_serving.json",
             SERVING_SMOKE_SECTION,
+        )
+        fresh_quality = _run_bench(
+            "benchmarks/bench_quality.py",
+            {
+                "REPRO_BENCH_QUALITY_N": str(quality_smoke_baseline.get("n", 2000)),
+            },
+            Path(scratch_dir) / "bench_quality.json",
+            QUALITY_SMOKE_SECTION,
         )
 
     failures = []
@@ -447,6 +517,22 @@ def main(argv=None) -> int:
             f"throughput/latency checks"
         )
 
+    # --- Quality layer -----------------------------------------------
+    # True-approximation-ratio floors and the clean exact sweep hold on
+    # any hardware; the sweep's integer counters are deterministic per
+    # seed/scale and must reproduce exactly on the fresh smoke run.
+    _check_quality(quality_baseline, QUALITY_SECTION, failures)
+    _check_quality(quality_smoke_baseline, QUALITY_SMOKE_SECTION, failures)
+    _check_quality(fresh_quality, f"{QUALITY_SMOKE_SECTION} (fresh)", failures)
+    for key in QUALITY_EXACT_KEYS:
+        expected = quality_smoke_baseline.get(key)
+        actual = fresh_quality.get(key)
+        if expected is not None and actual != expected:
+            failures.append(
+                f"{QUALITY_SMOKE_SECTION}.{key} changed: "
+                f"{actual} != baseline {expected}"
+            )
+
     # Accounting is deterministic for a fixed seed/scale on any hardware.
     expected_calls = baseline.get("stream_distance_computations")
     actual_calls = fresh.get("stream_distance_computations")
@@ -499,7 +585,9 @@ def main(argv=None) -> int:
         f"shm payload {float(fresh_parallel.get('payload_reduction', 0.0)):.0f}x "
         f"below pickle, "
         f"serving batched {float(fresh_serving.get('batched_speedup', 0.0)):.1f}x "
-        f"with eviction identity)"
+        f"with eviction identity, "
+        f"MWU exact sweep {fresh_quality.get('exact_within_10pct', 0)}"
+        f"/{fresh_quality.get('exact_cases', 0)} within 10%)"
     )
     return 0
 
